@@ -1,0 +1,79 @@
+//! Ablation benchmarks: the same FIRESTARTER/idle scenarios with each
+//! design-relevant mechanism toggled, measuring simulation cost. The
+//! *functional* effect of each ablation (what the results would look like
+//! on a machine without the mechanism) is reported by the `ablations`
+//! binary in this crate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+fn loaded(cfg: SimConfig) -> System {
+    let mut sys = System::new(cfg, 5);
+    for t in 0..128u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sys
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sim_cost_100ms_firestarter");
+    let variants: Vec<(&str, Box<dyn Fn() -> SimConfig>)> = vec![
+        ("baseline", Box::new(SimConfig::epyc_7502_2s)),
+        ("no_ccx_coupling", Box::new(|| {
+            let mut c = SimConfig::epyc_7502_2s();
+            c.ccx_coupling = false;
+            c
+        })),
+        ("no_throttle_controller", Box::new(|| {
+            let mut c = SimConfig::epyc_7502_2s();
+            c.controller.enabled = false;
+            c
+        })),
+        ("no_smu_fast_path", Box::new(|| {
+            let mut c = SimConfig::epyc_7502_2s();
+            c.smu.fast_path_enabled = false;
+            c
+        })),
+        ("intel_like_500us_slots", Box::new(|| {
+            let mut c = SimConfig::epyc_7502_2s();
+            c.smu.slot_period_ns = 500_000;
+            c
+        })),
+        ("per_package_c6", Box::new(|| {
+            let mut c = SimConfig::epyc_7502_2s();
+            c.global_package_c6 = false;
+            c
+        })),
+    ];
+    for (name, make) in variants {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || loaded(make()),
+                |mut sys| {
+                    sys.run_for_secs(0.1);
+                    black_box(sys.ac_power_w())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = ablations;
+    config = configured();
+    targets = bench_variants
+}
+criterion_main!(ablations);

@@ -1,0 +1,91 @@
+//! One Criterion benchmark per paper table/figure: measures the cost of
+//! regenerating each result with the simulator (reduced sample counts so
+//! `cargo bench` completes in minutes; pass `--paper` to the experiment
+//! *binaries* for full-scale regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use zen2_experiments as e;
+use zen2_isa::KernelClass;
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_green500", |b| b.iter(e::fig01_green500::run));
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let cfg = e::fig03_transition::Config { samples: 200, ..e::fig03_transition::Config::fig3(e::Scale::Quick) };
+    c.bench_function("fig03_transition_200_samples", |b| {
+        b.iter(|| e::fig03_transition::run(&cfg, 1))
+    });
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    let cfg = e::tab1_mixed_freq::Config { duration_s: 0.2, sample_interval_s: 0.1 };
+    c.bench_function("tab1_mixed_freq_matrix", |b| b.iter(|| e::tab1_mixed_freq::run(&cfg, 2)));
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let cfg = e::fig04_l3_latency::Config { repetitions: 2 };
+    c.bench_function("fig04_l3_latency_matrix", |b| b.iter(|| e::fig04_l3_latency::run(&cfg, 3)));
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("fig05_membw_sweep", |b| b.iter(|| e::fig05_membw::run(4)));
+}
+
+fn bench_fig06(c: &mut Criterion) {
+    let cfg = e::fig06_firestarter::Config { duration_s: 0.4, sample_interval_s: 0.2, boost: false };
+    c.bench_function("fig06_firestarter_both_modes", |b| {
+        b.iter(|| e::fig06_firestarter::run(&cfg, 5))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let cfg = e::fig07_idle_power::Config {
+        duration_s: 0.1,
+        thread_counts: vec![1, 64, 128],
+        freqs_mhz: vec![2500],
+    };
+    c.bench_function("fig07_idle_power_staircase", |b| b.iter(|| e::fig07_idle_power::run(&cfg, 6)));
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let cfg = e::fig08_wakeup::Config { samples: 50 };
+    c.bench_function("fig08_wakeup_grid", |b| b.iter(|| e::fig08_wakeup::run(&cfg, 7)));
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let cfg = e::fig09_rapl_quality::Config {
+        duration_s: 0.2,
+        placements: vec![(64, true)],
+        freqs_mhz: vec![2500],
+    };
+    c.bench_function("fig09_rapl_quality_grid", |b| b.iter(|| e::fig09_rapl_quality::run(&cfg, 8)));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = e::fig10_hamming::Config { blocks: 12, block_s: 0.05 };
+    c.bench_function("fig10_hamming_vxorps", |b| {
+        b.iter(|| e::fig10_hamming::run(&cfg, 9, KernelClass::VXorps))
+    });
+}
+
+fn bench_sections(c: &mut Criterion) {
+    c.bench_function("sec5a_sibling", |b| b.iter(|| e::sec5a_sibling::run(10)));
+    c.bench_function("sec6b_offline", |b| b.iter(|| e::sec6b_offline::run(11)));
+    let cfg = e::sec7_update_rate::Config { poll_period_us: 100, duration_ms: 20 };
+    c.bench_function("sec7_update_rate", |b| b.iter(|| e::sec7_update_rate::run(&cfg, 12)));
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = experiments;
+    config = configured();
+    targets = bench_fig01, bench_fig03, bench_tab1, bench_fig04, bench_fig05,
+              bench_fig06, bench_fig07, bench_fig08, bench_fig09, bench_fig10,
+              bench_sections
+}
+criterion_main!(experiments);

@@ -1,0 +1,142 @@
+//! Micro-benchmarks of the simulator's hot paths: event-loop throughput,
+//! power evaluation, SMU request handling, RAPL accounting, and the
+//! analytic memory models.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_mem::{ClockPlan, DramFreq, DramLatencyModel, IodPstate, StreamBandwidthModel};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::{CoreId, ThreadId, Topology};
+
+fn busy_system() -> System {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 99);
+    for t in 0..128u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sys.run_for_secs(0.05);
+    sys
+}
+
+fn bench_run_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_for_100ms");
+    group.bench_function("idle_machine", |b| {
+        b.iter_batched(
+            || System::new(SimConfig::epyc_7502_2s(), 1),
+            |mut sys| {
+                sys.run_for_secs(0.1);
+                black_box(sys.ac_power_w())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fully_loaded_machine", |b| {
+        b.iter_batched(
+            busy_system,
+            |mut sys| {
+                sys.run_for_secs(0.1);
+                black_box(sys.ac_power_w())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_boot(c: &mut Criterion) {
+    c.bench_function("sim_boot_epyc_7502_2s", |b| {
+        b.iter(|| black_box(System::new(SimConfig::epyc_7502_2s(), 7)))
+    });
+}
+
+fn bench_dvfs_request(c: &mut Criterion) {
+    c.bench_function("sim_dvfs_request_and_settle", |b| {
+        b.iter_batched(
+            || {
+                let mut sys = System::new(SimConfig::epyc_7502_2s(), 3);
+                sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+                sys.run_for_secs(0.02);
+                sys
+            },
+            |mut sys| {
+                sys.set_thread_pstate_mhz(ThreadId(0), 1500);
+                sys.set_thread_pstate_mhz(ThreadId(1), 1500);
+                sys.run_for_secs(0.003);
+                black_box(sys.effective_core_ghz(CoreId(0)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_memory_models(c: &mut Criterion) {
+    let lat = DramLatencyModel::zen2();
+    let bw = StreamBandwidthModel::zen2();
+    c.bench_function("mem_latency_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in IodPstate::SWEEP {
+                for d in DramFreq::SWEEP {
+                    acc += lat.latency_ns(&ClockPlan::resolve(p, d));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("mem_bandwidth_model_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in IodPstate::SWEEP {
+                for d in DramFreq::SWEEP {
+                    let plan = ClockPlan::resolve(p, d);
+                    for n in 1..=4 {
+                        acc += bw.bandwidth_gbs(&plan, n);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = Topology::epyc_7502_2s();
+    c.bench_function("topology_full_thread_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for t in topo.all_threads() {
+                acc = acc
+                    .wrapping_add(topo.core_of(t).0)
+                    .wrapping_add(topo.ccx_of_core(topo.core_of(t)).0)
+                    .wrapping_add(topo.socket_of_thread(t).0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rapl_read(c: &mut Criterion) {
+    c.bench_function("rapl_measure_through_msrs", |b| {
+        b.iter_batched(
+            busy_system,
+            |mut sys| black_box(sys.measure_rapl_w(0.05)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = sim_core;
+    config = configured();
+    targets = bench_run_for, bench_boot, bench_dvfs_request, bench_memory_models,
+              bench_topology, bench_rapl_read
+}
+criterion_main!(sim_core);

@@ -1,0 +1,9 @@
+//! Benchmark and ablation targets for the zen2-ee workspace.
+//!
+//! * `benches/bench_experiments.rs` — one Criterion benchmark per paper
+//!   table/figure (regeneration cost at reduced scale).
+//! * `benches/bench_sim_core.rs` — simulator hot-path micro-benchmarks.
+//! * `benches/bench_ablations.rs` — simulation cost with each mechanism
+//!   toggled.
+//! * `src/bin/ablations.rs` — the *functional* ablation report: what each
+//!   paper observation looks like with its mechanism removed.

@@ -1,0 +1,5 @@
+//! Prints the informed C-state break-even analysis (extension).
+use zen2_experiments::ext_cstate_breakeven as exp;
+fn main() {
+    print!("{}", exp::render(&exp::run(0xB4EA)));
+}

@@ -1,0 +1,6 @@
+//! Runs the many-core throttling prediction (paper SS VIII future work).
+use zen2_experiments::{ext_manycore as exp, Scale};
+fn main() {
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xE87);
+    print!("{}", exp::render(&r));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 3 (transition-delay histogram) and the §V-B anomaly.
+//! `--paper` runs the full 100 000 samples; `--anomaly` adds the
+//! 2.2↔2.5 GHz sweeps.
+use zen2_experiments::fig03_transition as exp;
+use zen2_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let r = exp::run(&exp::Config::fig3(scale), 0xF16_3);
+    print!("{}", exp::render(&r));
+    if std::env::args().any(|a| a == "--anomaly") {
+        println!("\n--- SS V-B anomaly: 2.5 <-> 2.2 GHz, waits 0-10 ms ---");
+        print!("{}", exp::render(&exp::run(&exp::Config::anomaly(scale), 0xF16_3A)));
+        println!("\n--- SS V-B anomaly control: waits >= 5 ms (effect must vanish) ---");
+        print!("{}", exp::render(&exp::run(&exp::Config::anomaly_long_waits(scale), 0xF16_3B)));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 10 (operand-Hamming-weight power ECDFs), for both the
+//! 256-bit vxorps sweep and the 64-bit shr contrast.
+use zen2_experiments::{fig10_hamming as exp, Scale};
+use zen2_isa::KernelClass;
+fn main() {
+    let cfg = exp::Config::new(Scale::from_args());
+    print!("{}", exp::render(&exp::run(&cfg, 0xF16_10, KernelClass::VXorps)));
+    print!("{}", exp::render(&exp::run(&cfg, 0xF16_11, KernelClass::Shr)));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §V-A observation (idle/offline sibling raises the core
+//! frequency).
+use zen2_experiments::sec5a_sibling as exp;
+fn main() {
+    print!("{}", exp::render(&exp::run(0x5EC_5A)));
+}

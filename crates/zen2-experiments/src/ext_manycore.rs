@@ -1,0 +1,167 @@
+//! Extension: the paper's future-work prediction on many-core parts.
+//!
+//! "As future work, we will analyze the frequency throttling on processors
+//! with more cores. We expect a more severe impact, since the ratio of
+//! compute to I/O resources is higher." (Section VIII)
+//!
+//! This experiment runs the Fig. 6 FIRESTARTER methodology on a simulated
+//! single-socket EPYC 7742 (64 cores behind one I/O die, 225 W-class PPT)
+//! and compares the throttle depth against the EPYC 7502 baseline. The
+//! paper publishes no numbers for this — the results here are *model
+//! predictions*, clearly labeled as such.
+
+use crate::report::Table;
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::{CoreId, ThreadId};
+
+/// One SKU's throttling result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SkuResult {
+    /// SKU label.
+    pub sku: String,
+    /// Cores per socket.
+    pub cores_per_socket: usize,
+    /// Nominal frequency, GHz.
+    pub nominal_ghz: f64,
+    /// FIRESTARTER (SMT) equilibrium frequency, GHz.
+    pub equilibrium_ghz: f64,
+    /// Throttle depth relative to nominal (0 = none).
+    pub throttle_depth: f64,
+    /// RAPL-visible package power at equilibrium, W per socket.
+    pub rapl_pkg_w: f64,
+    /// Per-core share of the PPT budget at equilibrium, W.
+    pub per_core_budget_w: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct ManyCoreResult {
+    /// The paper's 32-core baseline.
+    pub epyc_7502: SkuResult,
+    /// The future-work 64-core part.
+    pub epyc_7742: SkuResult,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Settling/measurement time per SKU, seconds.
+    pub duration_s: f64,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self { duration_s: scale.pick(0.5, 10.0) }
+    }
+}
+
+fn run_sku(cfg: &Config, seed: u64, sim_cfg: SimConfig, sku: &str) -> SkuResult {
+    let nominal_ghz = sim_cfg.nominal_mhz() as f64 / 1000.0;
+    let cores_per_socket = sim_cfg.topology.cores_per_socket();
+    let sockets = sim_cfg.topology.num_sockets();
+    let threads = sim_cfg.topology.num_threads() as u32;
+    let mut sys = System::new(sim_cfg, seed);
+    for t in 0..threads {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sys.run_for_secs(cfg.duration_s * 0.4);
+    sys.preheat();
+    sys.run_for_secs(cfg.duration_s * 0.6);
+    let equilibrium_ghz = sys.effective_core_ghz(CoreId(0));
+    let (rapl_pkg_sum, _) = sys.measure_rapl_w(0.3);
+    let rapl_pkg_w = rapl_pkg_sum / sockets as f64;
+    SkuResult {
+        sku: sku.into(),
+        cores_per_socket,
+        nominal_ghz,
+        equilibrium_ghz,
+        throttle_depth: 1.0 - equilibrium_ghz / nominal_ghz,
+        rapl_pkg_w,
+        per_core_budget_w: rapl_pkg_w / cores_per_socket as f64,
+    }
+}
+
+/// Runs both SKUs.
+pub fn run(cfg: &Config, seed: u64) -> ManyCoreResult {
+    let (a, b) = std::thread::scope(|scope| {
+        let a = scope
+            .spawn(|| run_sku(cfg, seeds::child(seed, 0), SimConfig::epyc_7502_2s(), "EPYC 7502"));
+        let b = scope
+            .spawn(|| run_sku(cfg, seeds::child(seed, 1), SimConfig::epyc_7742_1s(), "EPYC 7742"));
+        (a.join().expect("7502 worker"), b.join().expect("7742 worker"))
+    });
+    ManyCoreResult { epyc_7502: a, epyc_7742: b }
+}
+
+/// Renders the prediction table.
+pub fn render(r: &ManyCoreResult) -> String {
+    let mut t = Table::new(
+        "Extension — many-core throttling prediction (paper SS VIII future work; \
+         7742 numbers are model predictions, not paper measurements)",
+        &["SKU", "cores", "nominal [GHz]", "FIRESTARTER eq. [GHz]", "throttle depth", "W/core budget"],
+    );
+    for s in [&r.epyc_7502, &r.epyc_7742] {
+        t.row(&[
+            s.sku.clone(),
+            format!("{}", s.cores_per_socket),
+            format!("{:.2}", s.nominal_ghz),
+            format!("{:.3}", s.equilibrium_ghz),
+            format!("{:.1}%", s.throttle_depth * 100.0),
+            format!("{:.2}", s.per_core_budget_w),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "prediction: the 64-core part throttles {:.1}x deeper than the 32-core part\n",
+        r.epyc_7742.throttle_depth / r.epyc_7502.throttle_depth
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config { duration_s: 0.4 }
+    }
+
+    #[test]
+    fn many_core_part_throttles_deeper() {
+        // The paper's expectation: "a more severe impact".
+        let r = run(&quick(), 131);
+        assert!(
+            r.epyc_7742.throttle_depth > r.epyc_7502.throttle_depth + 0.02,
+            "7742 {:.3} vs 7502 {:.3}",
+            r.epyc_7742.throttle_depth,
+            r.epyc_7502.throttle_depth
+        );
+    }
+
+    #[test]
+    fn per_core_budget_shrinks_with_core_count() {
+        let r = run(&quick(), 132);
+        assert!(r.epyc_7742.per_core_budget_w < r.epyc_7502.per_core_budget_w);
+        // Both stay regulated near their PPT targets.
+        assert!((r.epyc_7502.rapl_pkg_w - 170.0).abs() < 8.0);
+        assert!((r.epyc_7742.rapl_pkg_w - 212.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn baseline_matches_fig6() {
+        let r = run(&quick(), 133);
+        assert!((r.epyc_7502.equilibrium_ghz - 2.03).abs() < 0.05);
+    }
+
+    #[test]
+    fn render_labels_the_prediction() {
+        let s = render(&run(&quick(), 134));
+        assert!(s.contains("model predictions"));
+        assert!(s.contains("EPYC 7742"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Fig. 3 — frequency transition delays, plus the §V-B 2.2↔2.5 GHz
+//! anomaly.
+//!
+//! Methodology (refined from Mazouz et al., as in the paper): the
+//! benchmark switches the core frequency and watches a minimal workload's
+//! performance until the target level is reached and validated; before
+//! the next sample it waits a random time between 0 and 10 ms. Each
+//! (initial, target) combination is measured many times; other cores sit
+//! at the minimum frequency.
+
+use crate::methodology_bridge::detection_noise_ns;
+use crate::report::{compare, Table};
+use crate::seeds;
+use crate::Scale;
+use rand::Rng;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::methodology::{mean, Histogram};
+use zen2_sim::time::{MICROSECOND, MILLISECOND};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Samples per direction.
+    pub samples: usize,
+    /// Initial frequency (MHz).
+    pub from_mhz: u32,
+    /// Target frequency (MHz).
+    pub to_mhz: u32,
+    /// Maximum random wait between samples, milliseconds.
+    pub max_wait_ms: u64,
+    /// Minimum random wait between samples, milliseconds.
+    pub min_wait_ms: u64,
+}
+
+impl Config {
+    /// The Fig. 3 configuration (2.2 → 1.5 GHz) at a given scale
+    /// (paper: 100 000 samples).
+    pub fn fig3(scale: Scale) -> Self {
+        Self {
+            samples: scale.pick(2_000, 100_000),
+            from_mhz: 2200,
+            to_mhz: 1500,
+            max_wait_ms: 10,
+            min_wait_ms: 0,
+        }
+    }
+
+    /// The §V-B anomaly configuration (2.5 ↔ 2.2 GHz, short waits).
+    pub fn anomaly(scale: Scale) -> Self {
+        Self {
+            samples: scale.pick(2_000, 100_000),
+            from_mhz: 2500,
+            to_mhz: 2200,
+            max_wait_ms: 10,
+            min_wait_ms: 0,
+        }
+    }
+
+    /// The anomaly configuration with ≥5 ms waits (effect must vanish).
+    pub fn anomaly_long_waits(scale: Scale) -> Self {
+        Self { min_wait_ms: 5, max_wait_ms: 15, ..Self::anomaly(scale) }
+    }
+}
+
+/// Measured delay distribution for one direction.
+#[derive(Debug, Clone, Serialize)]
+pub struct DirectionResult {
+    /// Transition direction label.
+    pub label: String,
+    /// All measured delays in microseconds.
+    pub delays_us: Vec<f64>,
+    /// Minimum delay (µs).
+    pub min_us: f64,
+    /// Maximum delay (µs).
+    pub max_us: f64,
+    /// Mean delay (µs).
+    pub mean_us: f64,
+    /// Fraction of samples that took a fast path (<350 µs for a
+    /// down-switch, <5 µs for an up-switch).
+    pub fast_fraction: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Result {
+    /// Down-switch (from → to) distribution.
+    pub down: DirectionResult,
+    /// Up-switch (to → from) distribution.
+    pub up: DirectionResult,
+    /// Histogram of down-switch delays in 25 µs bins over [0, 1500) µs.
+    pub histogram_counts: Vec<u64>,
+    /// Coefficient of variation over the uniform plateau bins.
+    pub plateau_cv: f64,
+}
+
+/// Runs the transition-delay experiment.
+pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seeds::child(seed, 0));
+    let topo = sys.config().topology.clone();
+    let min_mhz = sys.config().min_mhz();
+
+    // Other cores: minimum frequency, idle. Measured core: busy loop.
+    for t in topo.all_threads().skip(2) {
+        sys.set_thread_pstate_mhz(t, min_mhz);
+    }
+    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+
+    let set_core_freq = |sys: &mut System, mhz: u32| {
+        let a = sys.set_thread_pstate_mhz(ThreadId(1), mhz);
+        let b = sys.set_thread_pstate_mhz(ThreadId(0), mhz);
+        b.or(a)
+    };
+
+    // Settle at the initial frequency.
+    set_core_freq(&mut sys, cfg.from_mhz);
+    sys.run_for_ns(20 * MILLISECOND);
+
+    let mut down_delays = Vec::with_capacity(cfg.samples);
+    let mut up_delays = Vec::with_capacity(cfg.samples);
+
+    for _ in 0..cfg.samples {
+        // Random wait at the initial frequency.
+        let wait = cfg.min_wait_ms * MILLISECOND
+            + sys.rng().gen_range(0..=(cfg.max_wait_ms - cfg.min_wait_ms) * 1000) * MICROSECOND;
+        sys.run_for_ns(wait);
+
+        // Switch toward the target and time the performance change.
+        let t0 = sys.now_ns();
+        let pending = set_core_freq(&mut sys, cfg.to_mhz);
+        let delay = match pending {
+            Some(p) => (p.completes_at - t0) as f64 + detection_noise_ns(sys.rng()),
+            None => 0.0,
+        };
+        down_delays.push(delay / 1000.0);
+        sys.run_for_ns(pending.map(|p| p.completes_at - t0).unwrap_or(0) + MICROSECOND);
+
+        // Random wait at the target, then switch back.
+        let wait = cfg.min_wait_ms * MILLISECOND
+            + sys.rng().gen_range(0..=(cfg.max_wait_ms - cfg.min_wait_ms) * 1000) * MICROSECOND;
+        sys.run_for_ns(wait);
+        let t1 = sys.now_ns();
+        let pending = set_core_freq(&mut sys, cfg.from_mhz);
+        let delay = match pending {
+            Some(p) => (p.completes_at - t1) as f64 + detection_noise_ns(sys.rng()),
+            None => 0.0,
+        };
+        up_delays.push(delay / 1000.0);
+        sys.run_for_ns(pending.map(|p| p.completes_at - t1).unwrap_or(0) + MICROSECOND);
+    }
+
+    let mut histogram = Histogram::new(0.0, 1500.0, 60);
+    for &d in &down_delays {
+        histogram.add(d);
+    }
+    // The uniform plateau spans bins 16..=54 (400-1375 µs).
+    let plateau_cv = histogram.plateau_cv(16, 55);
+
+    let direction = |label: String, delays: &[f64], fast_threshold_us: f64| DirectionResult {
+        label,
+        min_us: delays.iter().copied().fold(f64::INFINITY, f64::min),
+        max_us: delays.iter().copied().fold(0.0, f64::max),
+        mean_us: mean(delays),
+        fast_fraction: delays.iter().filter(|&&d| d < fast_threshold_us).count() as f64
+            / delays.len() as f64,
+        delays_us: delays.to_vec(),
+    };
+
+    Fig3Result {
+        down: direction(
+            format!("{} -> {} MHz", cfg.from_mhz, cfg.to_mhz),
+            &down_delays,
+            350.0,
+        ),
+        up: direction(format!("{} -> {} MHz", cfg.to_mhz, cfg.from_mhz), &up_delays, 5.0),
+        histogram_counts: histogram.counts().to_vec(),
+        plateau_cv,
+    }
+}
+
+/// Renders the paper-style summary.
+pub fn render(result: &Fig3Result) -> String {
+    let mut t = Table::new(
+        "Fig. 3 — frequency transition delays (paper: uniform 390-1390 us for 2.2->1.5 GHz)",
+        &["direction", "min [us]", "max [us]", "mean [us]", "fast-path fraction"],
+    );
+    for d in [&result.down, &result.up] {
+        t.row(&[
+            d.label.clone(),
+            format!("{:.0}", d.min_us),
+            format!("{:.0}", d.max_us),
+            format!("{:.0}", d.mean_us),
+            format!("{:.3}", d.fast_fraction),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "plateau uniformity (CV over 400-1375 us bins): {:.3}\n",
+        result.plateau_cv
+    ));
+    out.push_str(&format!(
+        "paper vs measured mean (down): {}\n",
+        compare(890.0, result.down.mean_us, " us")
+    ));
+    let mut hist = Table::new("Fig. 3 histogram (25 us bins)", &["bin start [us]", "count"]);
+    for (i, &c) in result.histogram_counts.iter().enumerate() {
+        hist.row(&[format!("{}", i * 25), format!("{c}")]);
+    }
+    out.push_str(&hist.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_distribution_is_uniform_390_to_1390() {
+        let result = run(&Config::fig3(Scale::Quick), 7);
+        assert!(result.down.min_us >= 389.0, "min {}", result.down.min_us);
+        assert!(result.down.max_us <= 1393.0, "max {}", result.down.max_us);
+        assert!((result.down.mean_us - 890.0).abs() < 25.0, "mean {}", result.down.mean_us);
+        // No fast paths for the 2.2<->1.5 pair.
+        assert_eq!(result.down.fast_fraction, 0.0);
+        assert_eq!(result.up.fast_fraction, 0.0);
+        // Roughly uniform plateau.
+        assert!(result.plateau_cv < 0.35, "plateau CV {}", result.plateau_cv);
+    }
+
+    #[test]
+    fn up_switches_are_slightly_faster() {
+        let result = run(&Config::fig3(Scale::Quick), 11);
+        // 360 us ramp vs 390 us ramp.
+        assert!(result.up.min_us >= 359.0 && result.up.min_us < 375.0, "{}", result.up.min_us);
+        assert!(result.up.mean_us < result.down.mean_us);
+    }
+
+    #[test]
+    fn anomaly_appears_for_25_22_with_short_waits() {
+        let result = run(&Config::anomaly(Scale::Quick), 13);
+        // Down-switches below the 390 us minimum exist (down to ~160 us).
+        assert!(result.down.min_us < 250.0, "fast down min {}", result.down.min_us);
+        assert!(result.down.fast_fraction > 0.05, "{}", result.down.fast_fraction);
+        // Some up-switches are quasi-instantaneous (~1 us).
+        assert!(result.up.min_us < 5.0, "fast up min {}", result.up.min_us);
+        assert!(result.up.fast_fraction > 0.05, "{}", result.up.fast_fraction);
+    }
+
+    #[test]
+    fn anomaly_vanishes_with_5ms_waits() {
+        let result = run(&Config::anomaly_long_waits(Scale::Quick), 17);
+        assert_eq!(result.down.fast_fraction, 0.0, "min {}", result.down.min_us);
+        assert_eq!(result.up.fast_fraction, 0.0, "min {}", result.up.min_us);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let mut cfg = Config::fig3(Scale::Quick);
+        cfg.samples = 50;
+        let s = render(&run(&cfg, 3));
+        assert!(s.contains("Fig. 3"));
+        assert!(s.contains("2200 -> 1500 MHz"));
+        assert!(s.contains("histogram"));
+    }
+}

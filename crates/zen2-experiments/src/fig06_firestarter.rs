@@ -1,0 +1,242 @@
+//! Fig. 6 — frequency limitations for high-throughput workloads
+//! (FIRESTARTER 2, ± SMT).
+//!
+//! "Before we run our tests, we execute FIRESTARTER for 15 min in order to
+//! create a stable temperature. We run our tests at nominal frequency for
+//! two minutes and measure frequency and throughput with perf stat ...
+//! We exclude data for the first 5 s and last 2 s."
+
+use crate::report::{compare, compare_precise, Table};
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::methodology::{mean, std_dev};
+use zen2_sim::perf::ThreadCounters;
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+/// Paper reference values for one SMT mode.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PaperRef {
+    /// Mean core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Core IPC.
+    pub ipc: f64,
+    /// System AC power, W.
+    pub ac_w: f64,
+    /// RAPL package reading per socket, W.
+    pub rapl_pkg_w: f64,
+}
+
+/// Paper values with SMT (both hardware threads per core).
+pub const PAPER_SMT: PaperRef =
+    PaperRef { freq_ghz: 2.03, ipc: 3.56, ac_w: 509.0, rapl_pkg_w: 170.0 };
+/// Paper values without SMT.
+pub const PAPER_NO_SMT: PaperRef =
+    PaperRef { freq_ghz: 2.10, ipc: 3.23, ac_w: 489.0, rapl_pkg_w: 170.0 };
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Measured run duration in seconds (paper: 120 s).
+    pub duration_s: f64,
+    /// perf-stat sampling interval (paper: 1 s).
+    pub sample_interval_s: f64,
+    /// Run with Core Performance Boost enabled (paper: "almost no
+    /// influence").
+    pub boost: bool,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            duration_s: scale.pick(2.0, 120.0),
+            sample_interval_s: scale.pick(0.2, 1.0),
+            boost: false,
+        }
+    }
+}
+
+/// Measured values for one SMT mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModeResult {
+    /// Whether both hardware threads per core were used.
+    pub smt: bool,
+    /// Mean effective core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Standard deviation of the per-interval frequency samples, MHz.
+    pub freq_std_mhz: f64,
+    /// Mean core IPC.
+    pub ipc: f64,
+    /// Standard deviation of per-interval IPC samples.
+    pub ipc_std: f64,
+    /// Mean system AC power over the trimmed window, W.
+    pub ac_w: f64,
+    /// Mean RAPL package reading per socket, W.
+    pub rapl_pkg_w: f64,
+    /// True (simulator ground-truth) package power per socket, W.
+    pub true_pkg_w: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Result {
+    /// With SMT.
+    pub smt: ModeResult,
+    /// Without SMT.
+    pub no_smt: ModeResult,
+}
+
+fn run_mode(cfg: &Config, seed: u64, smt: bool) -> ModeResult {
+    let mut sim_cfg = SimConfig::epyc_7502_2s();
+    if cfg.boost {
+        sim_cfg.controller.boost_max_mhz = Some(3350);
+    }
+    let mut sys = System::new(sim_cfg, seed);
+    let step = if smt { 1 } else { 2 };
+    for t in (0..128u32).step_by(step) {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    // 15 min pre-heat: let the controller settle, then jump the thermals.
+    sys.run_for_secs(0.2);
+    sys.preheat();
+    sys.run_for_secs(0.1);
+
+    let t_start = sys.now_ns();
+    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as usize;
+    let mut freqs = Vec::with_capacity(samples);
+    let mut ipcs = Vec::with_capacity(samples);
+    let mut before0 = sys.counters(ThreadId(0));
+    let mut before1 = sys.counters(ThreadId(1));
+    for _ in 0..samples {
+        sys.run_for_secs(cfg.sample_interval_s);
+        let after0 = sys.counters(ThreadId(0));
+        let after1 = sys.counters(ThreadId(1));
+        freqs.push(ThreadCounters::effective_ghz(&before0, &after0, 2.5));
+        // Core IPC: both threads' instructions over the core's cycles.
+        let instr = (after0.instructions - before0.instructions)
+            + if smt { after1.instructions - before1.instructions } else { 0.0 };
+        let cycles = after0.cycles - before0.cycles;
+        ipcs.push(instr / cycles);
+        before0 = after0;
+        before1 = after1;
+    }
+    let t_end = sys.now_ns();
+    let ac_w = sys.trace_mean_w(t_start, t_end);
+    let (rapl_pkg_sum, _) = sys.measure_rapl_w(0.5);
+
+    ModeResult {
+        smt,
+        freq_ghz: mean(&freqs),
+        freq_std_mhz: if freqs.len() > 1 { std_dev(&freqs) * 1000.0 } else { 0.0 },
+        ipc: mean(&ipcs),
+        ipc_std: if ipcs.len() > 1 { std_dev(&ipcs) } else { 0.0 },
+        ac_w,
+        rapl_pkg_w: rapl_pkg_sum / 2.0,
+        true_pkg_w: sys.power_breakdown().pkg_true_w[0],
+    }
+}
+
+/// Runs both SMT modes (in parallel).
+pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
+    let (smt, no_smt) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| run_mode(cfg, seeds::child(seed, 0), true));
+        let b = scope.spawn(|| run_mode(cfg, seeds::child(seed, 1), false));
+        (a.join().expect("smt worker"), b.join().expect("no-smt worker"))
+    });
+    Fig6Result { smt, no_smt }
+}
+
+/// Renders the paper-style comparison.
+pub fn render(r: &Fig6Result) -> String {
+    let mut t = Table::new(
+        "Fig. 6 — FIRESTARTER at nominal 2.5 GHz, paper / measured",
+        &["metric", "with SMT", "without SMT"],
+    );
+    t.row(&[
+        "frequency [GHz]".into(),
+        compare_precise(PAPER_SMT.freq_ghz, r.smt.freq_ghz, ""),
+        compare_precise(PAPER_NO_SMT.freq_ghz, r.no_smt.freq_ghz, ""),
+    ]);
+    t.row(&[
+        "core IPC".into(),
+        compare_precise(PAPER_SMT.ipc, r.smt.ipc, ""),
+        compare_precise(PAPER_NO_SMT.ipc, r.no_smt.ipc, ""),
+    ]);
+    t.row(&[
+        "AC power [W]".into(),
+        compare(PAPER_SMT.ac_w, r.smt.ac_w, ""),
+        compare(PAPER_NO_SMT.ac_w, r.no_smt.ac_w, ""),
+    ]);
+    t.row(&[
+        "RAPL package [W]".into(),
+        compare(PAPER_SMT.rapl_pkg_w, r.smt.rapl_pkg_w, ""),
+        compare(PAPER_NO_SMT.rapl_pkg_w, r.no_smt.rapl_pkg_w, ""),
+    ]);
+    t.row(&[
+        "freq std-dev [MHz]".into(),
+        format!("{:.2} (paper 3.04)", r.smt.freq_std_mhz),
+        format!("{:.2} (paper 0.82)", r.no_smt.freq_std_mhz),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "true package power (TDP 180 W): SMT {:.1} W, no-SMT {:.1} W — RAPL under-reports\n",
+        r.smt.true_pkg_w, r.no_smt.true_pkg_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config { duration_s: 1.0, sample_interval_s: 0.2, boost: false }
+    }
+
+    #[test]
+    fn equilibria_match_fig6() {
+        let r = run(&quick(), 51);
+        assert!((r.smt.freq_ghz - PAPER_SMT.freq_ghz).abs() < 0.05, "smt {}", r.smt.freq_ghz);
+        assert!(
+            (r.no_smt.freq_ghz - PAPER_NO_SMT.freq_ghz).abs() < 0.05,
+            "no-smt {}",
+            r.no_smt.freq_ghz
+        );
+        // SMT runs slower but retires more per cycle.
+        assert!(r.smt.freq_ghz < r.no_smt.freq_ghz);
+        assert!(r.smt.ipc > r.no_smt.ipc);
+    }
+
+    #[test]
+    fn power_and_rapl_match_fig6() {
+        let r = run(&quick(), 52);
+        assert!((r.smt.ac_w - PAPER_SMT.ac_w).abs() < 10.0, "smt AC {}", r.smt.ac_w);
+        assert!((r.no_smt.ac_w - PAPER_NO_SMT.ac_w).abs() < 10.0, "no-smt AC {}", r.no_smt.ac_w);
+        // RAPL reads ~the same in both modes while AC differs by ~20 W.
+        assert!((r.smt.rapl_pkg_w - r.no_smt.rapl_pkg_w).abs() < 5.0);
+        assert!(r.smt.ac_w - r.no_smt.ac_w > 10.0);
+        // RAPL stays below the 180 W TDP.
+        assert!(r.smt.rapl_pkg_w < 175.0 && r.smt.rapl_pkg_w > 160.0);
+    }
+
+    #[test]
+    fn ipc_matches_paper_throughput() {
+        let r = run(&quick(), 53);
+        assert!((r.smt.ipc - 3.56).abs() < 0.05, "smt IPC {}", r.smt.ipc);
+        assert!((r.no_smt.ipc - 3.23).abs() < 0.05, "no-smt IPC {}", r.no_smt.ipc);
+    }
+
+    #[test]
+    fn boost_has_almost_no_influence() {
+        // Paper: "Enabling Core Performance Boost has almost no influence
+        // on throughput, frequency and power" — the workload sits below
+        // nominal anyway.
+        let plain = run(&quick(), 54);
+        let boosted = run(&Config { boost: true, ..quick() }, 54);
+        assert!((plain.smt.freq_ghz - boosted.smt.freq_ghz).abs() < 0.05);
+        assert!((plain.smt.ac_w - boosted.smt.ac_w).abs() < 10.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Fig. 7 — full-system AC power for different idle-state combinations.
+//!
+//! Three sweeps over the number of threads *not* in C2, applied "following
+//! the logical CPU numbering in steps of single CPUs":
+//!
+//! * **C1** — C2 disabled on the first *n* logical CPUs;
+//! * **active (pause)** — an unrolled pause loop pinned to the first *n*
+//!   logical CPUs, at 1.5 / 2.2 / 2.5 GHz;
+//! * the all-C2 baseline.
+
+use crate::report::{compare, Table};
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::LogicalCpu;
+
+/// Paper reference points.
+pub mod paper {
+    /// All threads in C2.
+    pub const ALL_C2_W: f64 = 99.1;
+    /// One core in C1 (the package wake step): 99.1 + 81.2.
+    pub const FIRST_C1_W: f64 = 180.3;
+    /// Each additional C1 core.
+    pub const PER_C1_CORE_W: f64 = 0.09;
+    /// One active pause thread, others C2.
+    pub const FIRST_ACTIVE_W: f64 = 180.4;
+    /// Each additional active core at 2.5 GHz.
+    pub const PER_ACTIVE_CORE_W: f64 = 0.33;
+    /// Each additional active sibling thread at 2.5 GHz.
+    pub const PER_ACTIVE_THREAD_W: f64 = 0.05;
+}
+
+/// Which idle sweep a curve belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SweepKind {
+    /// Threads moved from C2 to C1.
+    C1,
+    /// Threads running the unrolled pause loop at a frequency (MHz).
+    ActivePause(u32),
+}
+
+/// One measured curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// The sweep this curve belongs to.
+    pub kind: SweepKind,
+    /// The swept thread counts.
+    pub thread_counts: Vec<usize>,
+    /// Mean AC power at each count, W.
+    pub ac_w: Vec<f64>,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Result {
+    /// The all-C2 baseline, W.
+    pub baseline_w: f64,
+    /// All sweeps.
+    pub curves: Vec<Curve>,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Measurement time per configuration, seconds (paper: 10 s).
+    pub duration_s: f64,
+    /// Thread counts to sweep (paper: every count 1..=128).
+    pub thread_counts: Vec<usize>,
+    /// Frequencies for the active sweep, MHz.
+    pub freqs_mhz: Vec<u32>,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            duration_s: scale.pick(0.4, 10.0),
+            thread_counts: match scale {
+                Scale::Quick => vec![1, 2, 4, 16, 32, 64, 65, 96, 128],
+                Scale::Paper => (1..=128).collect(),
+            },
+            freqs_mhz: vec![1500, 2200, 2500],
+        }
+    }
+}
+
+/// Measures one configuration and returns the mean AC power.
+fn measure(cfg: &Config, seed: u64, kind: SweepKind, n_threads: usize) -> f64 {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    let numbering = sys.numbering().clone();
+    for cpu_idx in 0..n_threads {
+        let thread = numbering.thread_of(LogicalCpu(cpu_idx as u32));
+        match kind {
+            SweepKind::C1 => sys.set_cstate_enabled(thread, 2, false),
+            SweepKind::ActivePause(mhz) => {
+                // Both siblings' requests must drop or the idle sibling's
+                // nominal request pins the core (the Section V-A rule).
+                sys.set_thread_pstate_mhz(thread, mhz);
+                sys.set_thread_pstate_mhz(zen2_topology::ThreadId(thread.0 ^ 1), mhz);
+                sys.set_workload(thread, KernelClass::Pause, OperandWeight::HALF);
+            }
+        }
+    }
+    sys.run_for_secs(0.05);
+    let t0 = sys.now_ns();
+    sys.run_for_secs(cfg.duration_s);
+    sys.trace_mean_w(t0, sys.now_ns())
+}
+
+/// Runs all sweeps (configurations fan out over OS threads).
+pub fn run(cfg: &Config, seed: u64) -> Fig7Result {
+    let baseline = {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seeds::child(seed, 999));
+        sys.run_for_secs(0.05);
+        let t0 = sys.now_ns();
+        sys.run_for_secs(cfg.duration_s);
+        sys.trace_mean_w(t0, sys.now_ns())
+    };
+
+    let mut kinds = vec![SweepKind::C1];
+    kinds.extend(cfg.freqs_mhz.iter().map(|&f| SweepKind::ActivePause(f)));
+
+    let mut curves = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (ki, &kind) in kinds.iter().enumerate() {
+            for (ci, &count) in cfg.thread_counts.iter().enumerate() {
+                let seed = seeds::child(seed, (ki * 1000 + ci) as u64);
+                let cfg_ref = &*cfg;
+                handles.push((ki, scope.spawn(move || measure(cfg_ref, seed, kind, count))));
+            }
+        }
+        let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
+        for (ki, h) in handles {
+            per_kind[ki].push(h.join().expect("sweep worker panicked"));
+        }
+        for (ki, kind) in kinds.iter().enumerate() {
+            curves.push(Curve {
+                kind: *kind,
+                thread_counts: cfg.thread_counts.clone(),
+                ac_w: per_kind[ki].clone(),
+            });
+        }
+    });
+    Fig7Result { baseline_w: baseline, curves }
+}
+
+/// Derived staircase parameters from a C1 curve.
+pub fn c1_staircase(result: &Fig7Result) -> (f64, f64) {
+    let c1 = result.curves.iter().find(|c| c.kind == SweepKind::C1).expect("C1 curve present");
+    let first = c1.ac_w[0];
+    // Slope per additional core over the first-socket portion.
+    let idx64 = c1.thread_counts.iter().position(|&n| n == 64).expect("64-thread point");
+    let slope = (c1.ac_w[idx64] - c1.ac_w[0]) / (c1.thread_counts[idx64] - 1) as f64;
+    (first, slope)
+}
+
+/// Renders the summary and curves.
+pub fn render(result: &Fig7Result) -> String {
+    let mut t = Table::new(
+        "Fig. 7 — idle-state power staircase, paper / measured",
+        &["quantity", "paper / measured"],
+    );
+    t.row(&["all threads C2 [W]".into(), compare(paper::ALL_C2_W, result.baseline_w, "")]);
+    let (first_c1, slope_c1) = c1_staircase(result);
+    t.row(&["first core in C1 [W]".into(), compare(paper::FIRST_C1_W, first_c1, "")]);
+    t.row(&[
+        "per additional C1 core [W]".into(),
+        format!("{:.2} / {:.3}", paper::PER_C1_CORE_W, slope_c1),
+    ]);
+    if let Some(active) =
+        result.curves.iter().find(|c| c.kind == SweepKind::ActivePause(2500))
+    {
+        t.row(&["first active thread [W]".into(), compare(paper::FIRST_ACTIVE_W, active.ac_w[0], "")]);
+    }
+    let mut out = t.render();
+    let mut curves = Table::new(
+        "Fig. 7 curves — AC power [W] vs threads not in C2",
+        &["threads", "C1", "pause@1.5GHz", "pause@2.2GHz", "pause@2.5GHz"],
+    );
+    for (i, &n) in result.curves[0].thread_counts.iter().enumerate() {
+        let mut row = vec![format!("{n}")];
+        for c in &result.curves {
+            row.push(format!("{:.1}", c.ac_w[i]));
+        }
+        curves.row(&row);
+    }
+    out.push_str(&curves.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            duration_s: 0.2,
+            thread_counts: vec![1, 2, 4, 64, 65, 128],
+            freqs_mhz: vec![1500, 2500],
+        }
+    }
+
+    #[test]
+    fn baseline_and_first_step_match_paper() {
+        let r = run(&quick(), 61);
+        assert!((r.baseline_w - paper::ALL_C2_W).abs() < 1.5, "baseline {}", r.baseline_w);
+        let (first_c1, slope) = c1_staircase(&r);
+        assert!((first_c1 - paper::FIRST_C1_W).abs() < 2.0, "first C1 {first_c1}");
+        assert!((slope - paper::PER_C1_CORE_W).abs() < 0.02, "slope {slope}");
+    }
+
+    #[test]
+    fn second_hardware_threads_add_nothing_in_c1() {
+        let r = run(&quick(), 62);
+        let c1 = &r.curves[0];
+        let at_64 = c1.ac_w[c1.thread_counts.iter().position(|&n| n == 64).unwrap()];
+        let at_128 = c1.ac_w[c1.thread_counts.iter().position(|&n| n == 128).unwrap()];
+        assert!((at_128 - at_64).abs() < 0.5, "siblings add {:.2} W", at_128 - at_64);
+    }
+
+    #[test]
+    fn active_power_depends_on_frequency_c1_does_not() {
+        let r = run(&quick(), 63);
+        let slope = |kind: SweepKind| {
+            let c = r.curves.iter().find(|c| c.kind == kind).unwrap();
+            let i1 = c.thread_counts.iter().position(|&n| n == 1).unwrap();
+            let i64 = c.thread_counts.iter().position(|&n| n == 64).unwrap();
+            (c.ac_w[i64] - c.ac_w[i1]) / 63.0
+        };
+        let slow = slope(SweepKind::ActivePause(1500));
+        let fast = slope(SweepKind::ActivePause(2500));
+        assert!(fast > 1.5 * slow, "active slope must scale with f*V^2: {slow} vs {fast}");
+        assert!((fast - paper::PER_ACTIVE_CORE_W).abs() < 0.05, "fast slope {fast}");
+    }
+
+    #[test]
+    fn first_active_thread_matches_first_c1_level() {
+        // Paper: 180.4 W vs 180.3 W — the package wake dominates.
+        let r = run(&quick(), 64);
+        let active = r.curves.iter().find(|c| c.kind == SweepKind::ActivePause(2500)).unwrap();
+        let (first_c1, _) = c1_staircase(&r);
+        assert!((active.ac_w[0] - first_c1).abs() < 1.0);
+    }
+}

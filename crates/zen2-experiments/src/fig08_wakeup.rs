@@ -1,0 +1,192 @@
+//! Fig. 8 — C-state transition (wakeup) times.
+//!
+//! Caller/callee pairs as in Ilsche et al.: the callee idles in
+//! `pthread_cond_wait`, the caller signals it. Local pairs share a CCX;
+//! remote pairs sit on different sockets. 200 samples per combination of
+//! C-state, frequency and placement.
+
+use crate::report::Table;
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::methodology::{mean, quantile};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+/// Paper reference: C1 ≈ 1 µs at 2.2/2.5 GHz, 1.5 µs at 1.5 GHz; C2
+/// between 20 µs and 25 µs; remote adds ~1 µs; ACPI reports 1/400 µs.
+pub const FREQS_MHZ: [u32; 3] = [1500, 2200, 2500];
+
+/// One measured distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct WakeupDist {
+    /// OS C-state (1 or 2).
+    pub cstate: u8,
+    /// Callee core frequency, MHz.
+    pub freq_mhz: u32,
+    /// Cross-socket pair.
+    pub remote: bool,
+    /// Median latency, µs.
+    pub median_us: f64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// Maximum (outlier) latency, µs.
+    pub max_us: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Result {
+    /// All distributions, C1 first.
+    pub dists: Vec<WakeupDist>,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Samples per combination (paper: 200).
+    pub samples: usize,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self { samples: scale.pick(100, 200) }
+    }
+}
+
+fn measure(cfg: &Config, seed: u64, cstate: u8, freq_mhz: u32, remote: bool) -> WakeupDist {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    // Caller on core 0; callee on core 1 (same CCX) or socket 1 (remote).
+    let caller = ThreadId(0);
+    let callee = if remote { ThreadId(64) } else { ThreadId(2) };
+    sys.set_workload(caller, KernelClass::BusyWait, OperandWeight::HALF);
+    // Frequency applies to the callee core (both siblings).
+    let sibling = ThreadId(callee.0 + 1);
+    sys.set_thread_pstate_mhz(callee, freq_mhz);
+    sys.set_thread_pstate_mhz(sibling, freq_mhz);
+    if cstate == 1 {
+        sys.set_cstate_enabled(callee, 2, false);
+    }
+    sys.run_for_secs(0.02);
+
+    let mut samples_us = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        sys.run_for_ns(200_000);
+        samples_us.push(sys.sample_wakeup_ns(caller, callee) / 1000.0);
+    }
+    WakeupDist {
+        cstate,
+        freq_mhz,
+        remote,
+        median_us: quantile(&samples_us, 0.5),
+        mean_us: mean(&samples_us),
+        p95_us: quantile(&samples_us, 0.95),
+        max_us: samples_us.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// Runs all combinations (fanning out over OS threads).
+pub fn run(cfg: &Config, seed: u64) -> Fig8Result {
+    let mut combos = Vec::new();
+    for &cstate in &[1u8, 2u8] {
+        for &freq in &FREQS_MHZ {
+            for &remote in &[false, true] {
+                combos.push((cstate, freq, remote));
+            }
+        }
+    }
+    let mut dists = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = combos
+            .iter()
+            .enumerate()
+            .map(|(i, &(cstate, freq, remote))| {
+                let cfg = cfg.clone();
+                let s = seeds::child(seed, i as u64);
+                scope.spawn(move || measure(&cfg, s, cstate, freq, remote))
+            })
+            .collect();
+        for h in handles {
+            dists.push(h.join().expect("wakeup worker panicked"));
+        }
+    });
+    Fig8Result { dists }
+}
+
+/// Renders the paper-style table.
+pub fn render(r: &Fig8Result) -> String {
+    let mut t = Table::new(
+        "Fig. 8 — C-state wakeup latencies (paper: C1 ~1-1.5 us, C2 20-25 us; ACPI reports 1/400 us)",
+        &["C-state", "freq [GHz]", "placement", "median [us]", "mean [us]", "p95 [us]", "max [us]"],
+    );
+    for d in &r.dists {
+        t.row(&[
+            format!("C{}", d.cstate),
+            format!("{:.1}", d.freq_mhz as f64 / 1000.0),
+            if d.remote { "remote".into() } else { "local".into() },
+            format!("{:.2}", d.median_us),
+            format!("{:.2}", d.mean_us),
+            format!("{:.2}", d.p95_us),
+            format!("{:.2}", d.max_us),
+        ]);
+    }
+    t.render()
+}
+
+/// Finds a distribution.
+pub fn find(r: &Fig8Result, cstate: u8, freq_mhz: u32, remote: bool) -> &WakeupDist {
+    r.dists
+        .iter()
+        .find(|d| d.cstate == cstate && d.freq_mhz == freq_mhz && d.remote == remote)
+        .expect("combination present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config { samples: 60 }
+    }
+
+    #[test]
+    fn c1_latencies_match_fig8a() {
+        let r = run(&quick(), 71);
+        assert!((find(&r, 1, 2500, false).median_us - 1.0).abs() < 0.15);
+        assert!((find(&r, 1, 2200, false).median_us - 1.14).abs() < 0.2);
+        assert!((find(&r, 1, 1500, false).median_us - 1.67).abs() < 0.3);
+    }
+
+    #[test]
+    fn c2_latencies_match_fig8b() {
+        let r = run(&quick(), 72);
+        for &f in &FREQS_MHZ {
+            let d = find(&r, 2, f, false);
+            assert!((19.0..27.0).contains(&d.median_us), "C2 @{f}: {}", d.median_us);
+        }
+        // Far below the ACPI-reported 400 us.
+        assert!(find(&r, 2, 2500, false).p95_us < 40.0);
+    }
+
+    #[test]
+    fn remote_adds_about_one_microsecond() {
+        let r = run(&quick(), 73);
+        for &c in &[1u8, 2u8] {
+            let local = find(&r, c, 2500, false).median_us;
+            let remote = find(&r, c, 2500, true).median_us;
+            assert!((remote - local - 1.0).abs() < 0.3, "C{c}: {local} vs {remote}");
+        }
+    }
+
+    #[test]
+    fn outliers_exist_but_are_rare() {
+        let r = run(&Config { samples: 300 }, 74);
+        let d = find(&r, 2, 2500, false);
+        assert!(d.max_us > d.median_us, "some samples are perturbed");
+        assert!(d.p95_us < d.median_us * 1.3, "but the bulk is tight");
+    }
+}

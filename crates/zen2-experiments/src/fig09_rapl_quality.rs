@@ -1,0 +1,246 @@
+//! Fig. 9 — quality of the integrated power measurement (RAPL vs the AC
+//! reference).
+//!
+//! Following Hackenberg et al.: a grid of experiments, each a combination
+//! of workload, thread placement and frequency, run for 10 s; RAPL package
+//! and core energy plus the external AC power are recorded for each. If
+//! RAPL were an accurate system-level measurement, one function would map
+//! RAPL to the reference; instead the per-workload spread exposes the
+//! model.
+
+use crate::report::Table;
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::{SimConfig, System};
+use zen2_topology::{LogicalCpu, ThreadId};
+
+/// One experiment point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Workload name.
+    pub workload: String,
+    /// Active cores.
+    pub cores: usize,
+    /// Both SMT threads per active core.
+    pub smt: bool,
+    /// Core frequency, MHz.
+    pub freq_mhz: u32,
+    /// Mean system AC power, W.
+    pub ac_w: f64,
+    /// RAPL package-domain sum, W.
+    pub rapl_pkg_w: f64,
+    /// RAPL core-domain sum, W.
+    pub rapl_core_w: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Result {
+    /// All measured points.
+    pub points: Vec<Point>,
+    /// Least-squares fit `AC ≈ a·RAPL_pkg + b`.
+    pub fit_slope: f64,
+    /// Fit intercept, W.
+    pub fit_intercept_w: f64,
+    /// Worst residual from the fit, W.
+    pub worst_residual_w: f64,
+    /// Mean residual of memory-bound workloads (positive = AC above fit:
+    /// RAPL misses DRAM power).
+    pub memory_residual_w: f64,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Duration per point, seconds (paper: 10 s).
+    pub duration_s: f64,
+    /// Core-count placements.
+    pub placements: Vec<(usize, bool)>,
+    /// Frequencies, MHz.
+    pub freqs_mhz: Vec<u32>,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self {
+            duration_s: scale.pick(0.4, 10.0),
+            placements: match scale {
+                Scale::Quick => vec![(8, false), (64, false), (64, true)],
+                Scale::Paper => vec![(1, false), (16, false), (32, false), (64, false), (64, true)],
+            },
+            freqs_mhz: vec![1500, 2200, 2500],
+        }
+    }
+}
+
+fn measure(cfg: &Config, seed: u64, class: KernelClass, cores: usize, smt: bool, mhz: u32) -> Point {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    let numbering = sys.numbering().clone();
+    let threads = if smt { cores * 2 } else { cores };
+    if class != KernelClass::Idle {
+        for cpu in 0..threads {
+            let t = numbering.thread_of(LogicalCpu(cpu as u32));
+            sys.set_thread_pstate_mhz(t, mhz);
+            let sib = ThreadId(t.0 ^ 1);
+            sys.set_thread_pstate_mhz(sib, mhz);
+            sys.set_workload(t, class, OperandWeight::HALF);
+        }
+    }
+    sys.run_for_secs(0.05);
+    sys.preheat();
+    let t0 = sys.now_ns();
+    let (rapl_pkg_w, rapl_core_w) = sys.measure_rapl_w(cfg.duration_s);
+    let ac_w = sys.trace_mean_w(t0, sys.now_ns());
+    Point { workload: class.name().into(), cores, smt, freq_mhz: mhz, ac_w, rapl_pkg_w, rapl_core_w }
+}
+
+/// Runs the full grid (points fan out over OS threads).
+pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
+    let kernels = zen2_isa::WorkloadSet::paper();
+    let classes: Vec<KernelClass> = kernels.rapl_quality_set().iter().map(|k| k.class).collect();
+    let mut jobs = Vec::new();
+    for &class in &classes {
+        if class == KernelClass::Idle {
+            jobs.push((class, 0usize, false, 2500u32));
+            continue;
+        }
+        for &(cores, smt) in &cfg.placements {
+            for &mhz in &cfg.freqs_mhz {
+                jobs.push((class, cores, smt, mhz));
+            }
+        }
+    }
+    let mut points = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, cores, smt, mhz))| {
+                let cfg = cfg.clone();
+                let s = seeds::child(seed, i as u64);
+                scope.spawn(move || measure(&cfg, s, class, cores, smt, mhz))
+            })
+            .collect();
+        for h in handles {
+            points.push(h.join().expect("grid worker panicked"));
+        }
+    });
+
+    // Least squares AC = a*rapl + b.
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.rapl_pkg_w).sum();
+    let sy: f64 = points.iter().map(|p| p.ac_w).sum();
+    let sxx: f64 = points.iter().map(|p| p.rapl_pkg_w * p.rapl_pkg_w).sum();
+    let sxy: f64 = points.iter().map(|p| p.rapl_pkg_w * p.ac_w).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+
+    let residual = |p: &Point| p.ac_w - (slope * p.rapl_pkg_w + intercept);
+    let worst = points.iter().map(|p| residual(p).abs()).fold(0.0, f64::max);
+    let memory: Vec<f64> = points
+        .iter()
+        .filter(|p| p.workload.starts_with("memory"))
+        .map(residual)
+        .collect();
+    let memory_residual =
+        if memory.is_empty() { 0.0 } else { memory.iter().sum::<f64>() / memory.len() as f64 };
+
+    Fig9Result {
+        points,
+        fit_slope: slope,
+        fit_intercept_w: intercept,
+        worst_residual_w: worst,
+        memory_residual_w: memory_residual,
+    }
+}
+
+/// Renders the scatter as a table plus fit statistics.
+pub fn render(r: &Fig9Result) -> String {
+    let mut t = Table::new(
+        "Fig. 9 — RAPL vs AC reference (one row per experiment)",
+        &["workload", "cores", "SMT", "f [MHz]", "AC [W]", "RAPL pkg [W]", "RAPL core [W]"],
+    );
+    for p in &r.points {
+        t.row(&[
+            p.workload.clone(),
+            format!("{}", p.cores),
+            format!("{}", p.smt),
+            format!("{}", p.freq_mhz),
+            format!("{:.1}", p.ac_w),
+            format!("{:.1}", p.rapl_pkg_w),
+            format!("{:.1}", p.rapl_core_w),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "linear fit: AC = {:.2} x RAPL_pkg + {:.1} W; worst residual {:.1} W; \
+         mean memory-workload residual {:+.1} W (RAPL misses DRAM)\n",
+        r.fit_slope, r.fit_intercept_w, r.worst_residual_w, r.memory_residual_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config {
+            duration_s: 0.3,
+            placements: vec![(16, false), (64, true)],
+            freqs_mhz: vec![1500, 2500],
+        }
+    }
+
+    #[test]
+    fn rapl_underreports_and_points_scatter() {
+        let r = run(&quick(), 81);
+        // "the RAPL package domain reports significantly lower power
+        // compared to the external measurement": every active point.
+        for p in r.points.iter().filter(|p| p.workload != "idle") {
+            assert!(p.rapl_pkg_w < p.ac_w, "{}: {} vs {}", p.workload, p.rapl_pkg_w, p.ac_w);
+        }
+        // No single function maps RAPL to AC: substantial residuals.
+        assert!(r.worst_residual_w > 10.0, "worst residual {:.1}", r.worst_residual_w);
+    }
+
+    #[test]
+    fn memory_workloads_sit_above_the_fit() {
+        let r = run(&quick(), 82);
+        assert!(
+            r.memory_residual_w > 5.0,
+            "memory workloads draw AC that RAPL cannot see: {:+.1} W",
+            r.memory_residual_w
+        );
+    }
+
+    #[test]
+    fn core_domain_is_below_package_domain() {
+        let r = run(&quick(), 83);
+        for p in &r.points {
+            assert!(
+                p.rapl_core_w <= p.rapl_pkg_w + 1e-6,
+                "{}: core {} pkg {}",
+                p.workload,
+                p.rapl_core_w,
+                p.rapl_pkg_w
+            );
+        }
+    }
+
+    #[test]
+    fn compute_workloads_scale_with_frequency() {
+        let r = run(&quick(), 84);
+        let find = |mhz: u32| {
+            r.points
+                .iter()
+                .find(|p| p.workload == "add_pd" && p.freq_mhz == mhz && p.cores == 64)
+                .expect("point present")
+                .ac_w
+        };
+        assert!(find(2500) > find(1500) + 30.0);
+    }
+}

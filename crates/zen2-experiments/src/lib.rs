@@ -1,0 +1,90 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! Every experiment follows the same shape:
+//!
+//! * a `Config` with the paper's full parameters ([`Scale::Paper`]) and a
+//!   cheaper variant for CI and quick runs ([`Scale::Quick`]),
+//! * a `run(config, seed)` function that drives `zen2-sim` through the
+//!   paper's methodology and returns a serializable result struct,
+//! * a `render()` producing the paper-style text table, including the
+//!   published reference values next to the measured ones.
+//!
+//! Independent configurations within a sweep fan out over OS threads
+//! (`std::thread::scope`), each with a deterministic child seed, so
+//! results are reproducible regardless of parallelism.
+//!
+//! | Module | Paper item |
+//! |--------|-----------|
+//! | [`fig01_green500`]   | Fig. 1 — Green500 efficiency by µarch |
+//! | [`fig03_transition`] | Fig. 3 — frequency transition delays (+ §V-B anomaly) |
+//! | [`tab1_mixed_freq`]  | Table I — mixed frequencies on one CCX |
+//! | [`fig04_l3_latency`] | Fig. 4 — L3 latency under mixed frequencies |
+//! | [`fig05_membw`]      | Fig. 5 — I/O-die P-states vs DRAM bandwidth/latency |
+//! | [`fig06_firestarter`]| Fig. 6 — FIRESTARTER throttling ± SMT |
+//! | [`fig07_idle_power`] | Fig. 7 — idle/C-state power staircase |
+//! | [`fig08_wakeup`]     | Fig. 8 — C-state wakeup latencies |
+//! | [`fig09_rapl_quality`]| Fig. 9 — RAPL vs AC reference scatter |
+//! | [`fig10_hamming`]    | Fig. 10 — operand-weight power ECDFs |
+//! | [`sec5a_sibling`]    | §V-A — idle/offline sibling raises core frequency |
+//! | [`sec6b_offline`]    | §VI-B — offline threads block package C6 |
+//! | [`sec7_update_rate`] | §VII — RAPL counter update interval |
+//! | [`ext_manycore`]     | §VIII future work — many-core throttling prediction |
+//! | [`ext_cstate_breakeven`] | extension — informed C-state break-even analysis |
+
+pub mod ext_cstate_breakeven;
+pub mod ext_manycore;
+pub mod fig01_green500;
+pub mod fig03_transition;
+pub mod fig04_l3_latency;
+pub mod fig05_membw;
+pub mod fig06_firestarter;
+pub mod fig07_idle_power;
+pub mod fig08_wakeup;
+pub mod fig09_rapl_quality;
+pub mod fig10_hamming;
+pub mod methodology_bridge;
+pub mod report;
+pub mod sec5a_sibling;
+pub mod sec6b_offline;
+pub mod sec7_update_rate;
+pub mod seeds;
+pub mod tab1_mixed_freq;
+
+/// Experiment size: the paper's full parameters or a CI-friendly subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sample counts / durations; minutes of total runtime.
+    Quick,
+    /// The paper's published parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--paper` / `--quick` style CLI arguments (quick default).
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Picks between the two scale values.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 100), 1);
+        assert_eq!(Scale::Paper.pick(1, 100), 100);
+    }
+}

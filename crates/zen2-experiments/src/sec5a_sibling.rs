@@ -1,0 +1,148 @@
+//! §V-A — influence of idling hardware threads on core frequencies.
+//!
+//! One thread runs `while(1);` at the minimum frequency; the sibling
+//! hardware thread is set to the nominal frequency and left idle (or
+//! offlined). On Zen 2 the idle/offline sibling's request still elevates
+//! the core — never observed on Intel with deep idle states enabled.
+
+use crate::report::Table;
+use serde::Serialize;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::perf::ThreadCounters;
+use zen2_sim::time::MILLISECOND;
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+/// Sibling configurations swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SiblingMode {
+    /// Sibling idle in C2 with a nominal-frequency request.
+    IdleAtNominal,
+    /// Sibling offlined while requesting nominal.
+    OfflineAtNominal,
+    /// Sibling idle with its request lowered to the minimum — the paper's
+    /// recommended mitigation.
+    IdleAtMinimum,
+}
+
+/// One observation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Observation {
+    /// The sibling configuration.
+    pub mode: SiblingMode,
+    /// perf-observed frequency of the active thread, GHz.
+    pub active_freq_ghz: f64,
+    /// Cycles per second the idle sibling reports.
+    pub sibling_cycles_per_s: f64,
+}
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sec5aResult {
+    /// All observations.
+    pub observations: Vec<Observation>,
+}
+
+/// Runs the three sibling configurations.
+pub fn run(seed: u64) -> Sec5aResult {
+    let mut observations = Vec::new();
+    for (i, &mode) in [
+        SiblingMode::IdleAtNominal,
+        SiblingMode::OfflineAtNominal,
+        SiblingMode::IdleAtMinimum,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), crate::seeds::child(seed, i as u64));
+        let active = ThreadId(0);
+        let sibling = ThreadId(1);
+        sys.set_workload(active, KernelClass::BusyWait, OperandWeight::HALF);
+        sys.set_thread_pstate_mhz(active, 1500);
+        match mode {
+            SiblingMode::IdleAtNominal => {
+                sys.set_thread_pstate_mhz(sibling, 2500);
+            }
+            SiblingMode::OfflineAtNominal => {
+                sys.set_thread_pstate_mhz(sibling, 2500);
+                sys.set_online(sibling, false);
+            }
+            SiblingMode::IdleAtMinimum => {
+                sys.set_thread_pstate_mhz(sibling, 1500);
+            }
+        }
+        sys.run_for_ns(20 * MILLISECOND);
+        let b_active = sys.counters(active);
+        let b_sib = sys.counters(sibling);
+        sys.run_for_secs(1.0);
+        let a_active = sys.counters(active);
+        let a_sib = sys.counters(sibling);
+        observations.push(Observation {
+            mode,
+            active_freq_ghz: ThreadCounters::effective_ghz(&b_active, &a_active, 2.5),
+            sibling_cycles_per_s: a_sib.cycles - b_sib.cycles,
+        });
+    }
+    Sec5aResult { observations }
+}
+
+/// Renders the observation table.
+pub fn render(r: &Sec5aResult) -> String {
+    let mut t = Table::new(
+        "SS V-A — active thread set to 1.5 GHz; sibling influence (paper: idle/offline sibling at 2.5 GHz elevates the core to 2.5 GHz)",
+        &["sibling", "active thread freq [GHz]", "sibling cycles/s"],
+    );
+    for o in &r.observations {
+        t.row(&[
+            format!("{:?}", o.mode),
+            format!("{:.3}", o.active_freq_ghz),
+            format!("{:.0}", o.sibling_cycles_per_s),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(r: &Sec5aResult, mode: SiblingMode) -> &Observation {
+        r.observations.iter().find(|o| o.mode == mode).expect("mode present")
+    }
+
+    #[test]
+    fn idle_sibling_elevates_the_core() {
+        let r = run(101);
+        let o = find(&r, SiblingMode::IdleAtNominal);
+        assert!((o.active_freq_ghz - 2.5).abs() < 0.01, "elevated to {}", o.active_freq_ghz);
+    }
+
+    #[test]
+    fn offline_sibling_also_elevates() {
+        let r = run(102);
+        let o = find(&r, SiblingMode::OfflineAtNominal);
+        assert!((o.active_freq_ghz - 2.5).abs() < 0.01, "elevated to {}", o.active_freq_ghz);
+        // Offline threads execute nothing at all.
+        assert_eq!(o.sibling_cycles_per_s, 0.0);
+    }
+
+    #[test]
+    fn lowering_the_sibling_request_restores_control() {
+        let r = run(103);
+        let o = find(&r, SiblingMode::IdleAtMinimum);
+        assert!((o.active_freq_ghz - 1.5).abs() < 0.01, "restored to {}", o.active_freq_ghz);
+    }
+
+    #[test]
+    fn idle_sibling_reports_under_60k_cycles() {
+        // "The idling thread reports only a usage of less than
+        // 60 000 cycle/s".
+        let r = run(104);
+        let o = find(&r, SiblingMode::IdleAtNominal);
+        assert!(
+            o.sibling_cycles_per_s > 0.0 && o.sibling_cycles_per_s < 60_000.0,
+            "sibling cycles {}",
+            o.sibling_cycles_per_s
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! §VI-B — influence of offlined hardware threads on idle states.
+//!
+//! "Even though C2 states are active and used by the active hardware
+//! threads, system power consumption is increased to the C1 level as long
+//! as the disabled hardware threads are offline. Only an explicit enabling
+//! of the disabled threads will fix this behavior." The paper therefore
+//! *strongly discourages* disabling hardware threads on Rome.
+
+use crate::report::{compare, Table};
+use serde::Serialize;
+use zen2_sim::{SimConfig, System};
+use zen2_topology::{LogicalCpu, ThreadId};
+
+/// Full experiment output.
+#[derive(Debug, Clone, Serialize)]
+pub struct Sec6bResult {
+    /// Idle power with every thread online and in C2, W.
+    pub baseline_w: f64,
+    /// Idle power after offlining the second hardware threads, W.
+    pub offline_w: f64,
+    /// Idle power after re-onlining them, W.
+    pub reonline_w: f64,
+    /// The same offline configuration under a kernel that parks offlined
+    /// threads in the deepest state (ablation), W.
+    pub clean_parking_w: f64,
+}
+
+/// Runs the offline/re-online sequence.
+pub fn run(seed: u64) -> Sec6bResult {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    let numbering = sys.numbering().clone();
+    let second_threads: Vec<ThreadId> =
+        (64..128).map(|cpu| numbering.thread_of(LogicalCpu(cpu))).collect();
+
+    let measure = |sys: &mut System| {
+        sys.run_for_secs(0.05);
+        let t0 = sys.now_ns();
+        sys.run_for_secs(0.4);
+        sys.trace_mean_w(t0, sys.now_ns())
+    };
+
+    let baseline_w = measure(&mut sys);
+    for &t in &second_threads {
+        sys.set_online(t, false);
+    }
+    let offline_w = measure(&mut sys);
+    for &t in &second_threads {
+        sys.set_online(t, true);
+    }
+    let reonline_w = measure(&mut sys);
+
+    let mut clean_cfg = SimConfig::epyc_7502_2s();
+    clean_cfg.os.offline_parks_in_c1 = false;
+    let mut clean = System::new(clean_cfg, seed ^ 1);
+    for &t in &second_threads {
+        clean.set_online(t, false);
+    }
+    let clean_parking_w = measure(&mut clean);
+
+    Sec6bResult { baseline_w, offline_w, reonline_w, clean_parking_w }
+}
+
+/// Renders the summary.
+pub fn render(r: &Sec6bResult) -> String {
+    let mut t = Table::new(
+        "SS VI-B — offlined hardware threads block package C6",
+        &["configuration", "paper / measured [W]"],
+    );
+    t.row(&["all online, idle (C2)".into(), compare(99.1, r.baseline_w, "")]);
+    t.row(&["second threads offline".into(), compare(180.3, r.offline_w, "")]);
+    t.row(&["after re-onlining".into(), compare(99.1, r.reonline_w, "")]);
+    t.row(&["(ablation) clean offline parking".into(), format!("- / {:.1}", r.clean_parking_w)]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_threads_raise_idle_power_to_c1_level() {
+        let r = run(111);
+        assert!((r.baseline_w - 99.1).abs() < 1.5, "baseline {}", r.baseline_w);
+        // "System power consumption is increased to the C1 level": the
+        // package wake step plus the per-core clock-gate residual of all
+        // 64 cores held out of C2 (~180.3 + 63 x 0.09 W).
+        assert!((175.0..=190.0).contains(&r.offline_w), "offline {}", r.offline_w);
+        assert!(r.offline_w > r.baseline_w + 75.0);
+    }
+
+    #[test]
+    fn reonlining_fixes_it() {
+        let r = run(112);
+        assert!((r.reonline_w - r.baseline_w).abs() < 1.0, "re-online {}", r.reonline_w);
+    }
+
+    #[test]
+    fn clean_parking_kernel_would_not_show_the_anomaly() {
+        let r = run(113);
+        assert!((r.clean_parking_w - r.baseline_w).abs() < 1.5, "clean {}", r.clean_parking_w);
+    }
+}

@@ -1,0 +1,168 @@
+//! Table I — applied mean core frequencies in a mixed-frequency setup on
+//! one CCX.
+//!
+//! "We run a simple workload (`while(1);`) on all cores of a CCX and
+//! measure the frequency of one core, which is configured differently
+//! than other cores. We monitor each setup for 120 s and capture the
+//! frequency every second via perf stat."
+
+use crate::report::Table;
+use crate::seeds;
+use crate::Scale;
+use serde::Serialize;
+use std::thread;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::perf::ThreadCounters;
+use zen2_sim::time::MILLISECOND;
+use zen2_sim::{SimConfig, System};
+use zen2_topology::ThreadId;
+
+/// The swept frequencies (GHz ×1000), in the paper's order.
+pub const FREQS_MHZ: [u32; 3] = [1500, 2200, 2500];
+
+/// Paper Table I reference values (GHz): rows = set frequency of the
+/// measured core, columns = set frequency of the other cores.
+pub const PAPER_GHZ: [[f64; 3]; 3] =
+    [[1.499, 1.466, 1.428], [2.200, 2.199, 2.000], [2.497, 2.499, 2.499]];
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Measurement duration per cell in seconds (paper: 120 s).
+    pub duration_s: f64,
+    /// Sampling interval for the perf-stat style frequency readout.
+    pub sample_interval_s: f64,
+}
+
+impl Config {
+    /// Scaled configuration.
+    pub fn new(scale: Scale) -> Self {
+        Self { duration_s: scale.pick(1.0, 120.0), sample_interval_s: scale.pick(0.1, 1.0) }
+    }
+}
+
+/// Measured matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct Tab1Result {
+    /// Mean applied frequency (GHz) per (measured-set, others-set) cell.
+    pub measured_ghz: [[f64; 3]; 3],
+    /// Worst relative deviation from the paper's Table I.
+    pub worst_rel_err: f64,
+}
+
+/// Runs one cell: the measured core set to `set_mhz`, the other three CCX
+/// cores to `others_mhz`, all running `while(1);`.
+fn run_cell(cfg: &Config, seed: u64, set_mhz: u32, others_mhz: u32) -> f64 {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    // All eight threads of CCX 0 busy.
+    for t in 0..8u32 {
+        sys.set_workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
+        let mhz = if t < 2 { set_mhz } else { others_mhz };
+        sys.set_thread_pstate_mhz(ThreadId(t), mhz);
+    }
+    // Let the DVFS transitions settle before measuring.
+    sys.run_for_ns(20 * MILLISECOND);
+
+    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as usize;
+    let mut means = Vec::with_capacity(samples);
+    let mut before = sys.counters(ThreadId(0));
+    for _ in 0..samples {
+        sys.run_for_secs(cfg.sample_interval_s);
+        let after = sys.counters(ThreadId(0));
+        means.push(ThreadCounters::effective_ghz(&before, &after, 2.5));
+        before = after;
+    }
+    zen2_sim::methodology::mean(&means)
+}
+
+/// Runs the full 3×3 matrix (cells fan out over OS threads).
+pub fn run(cfg: &Config, seed: u64) -> Tab1Result {
+    let mut measured = [[0.0; 3]; 3];
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &set) in FREQS_MHZ.iter().enumerate() {
+            for (j, &others) in FREQS_MHZ.iter().enumerate() {
+                let cell_seed = seeds::child(seed, (i * 3 + j) as u64);
+                let cfg = cfg.clone();
+                handles.push((
+                    i,
+                    j,
+                    scope.spawn(move || run_cell(&cfg, cell_seed, set, others)),
+                ));
+            }
+        }
+        for (i, j, h) in handles {
+            measured[i][j] = h.join().expect("cell worker panicked");
+        }
+    });
+    let mut worst = 0.0f64;
+    for i in 0..3 {
+        for j in 0..3 {
+            worst = worst.max((measured[i][j] - PAPER_GHZ[i][j]).abs() / PAPER_GHZ[i][j]);
+        }
+    }
+    Tab1Result { measured_ghz: measured, worst_rel_err: worst }
+}
+
+/// Renders the paper-style table (paper value / measured value per cell).
+pub fn render(result: &Tab1Result) -> String {
+    let mut t = Table::new(
+        "Table I — applied mean core frequencies [GHz], paper / measured",
+        &["set freq \\ others", "1.5 GHz", "2.2 GHz", "2.5 GHz"],
+    );
+    for (i, &set) in FREQS_MHZ.iter().enumerate() {
+        let mut row = vec![format!("{:.1} GHz", set as f64 / 1000.0)];
+        for j in 0..3 {
+            row.push(format!("{:.3} / {:.3}", PAPER_GHZ[i][j], result.measured_ghz[i][j]));
+        }
+        t.row(&row);
+    }
+    let mut out = t.render();
+    out.push_str(&format!("worst relative deviation: {:.2}%\n", result.worst_rel_err * 100.0));
+    out
+}
+
+/// The mesh-coupling observation in one number: how much a 2.2 GHz core
+/// loses under a 2.5 GHz neighbor.
+pub fn coupling_penalty_ghz(result: &Tab1Result) -> f64 {
+    result.measured_ghz[1][1] - result.measured_ghz[1][2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Config {
+        Config { duration_s: 0.3, sample_interval_s: 0.1 }
+    }
+
+    #[test]
+    fn matrix_matches_table1_within_one_percent() {
+        let result = run(&quick(), 21);
+        assert!(result.worst_rel_err < 0.01, "worst {:.3}%", result.worst_rel_err * 100.0);
+    }
+
+    #[test]
+    fn severe_penalty_for_22_under_25_neighbors() {
+        let result = run(&quick(), 22);
+        // Paper: 200 MHz loss.
+        let penalty = coupling_penalty_ghz(&result);
+        assert!((penalty - 0.2).abs() < 0.01, "penalty {penalty:.3} GHz");
+    }
+
+    #[test]
+    fn diagonal_is_unperturbed() {
+        let result = run(&quick(), 23);
+        for i in 0..3 {
+            let set = FREQS_MHZ[i] as f64 / 1000.0;
+            assert!((result.measured_ghz[i][i] - set).abs() < 0.005);
+        }
+    }
+
+    #[test]
+    fn render_shows_highlighted_cells() {
+        let s = render(&run(&quick(), 24));
+        assert!(s.contains("Table I"));
+        assert!(s.contains("2.000") || s.contains("1.999"));
+    }
+}

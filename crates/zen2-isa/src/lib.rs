@@ -1,0 +1,36 @@
+//! Workload kernels and the micro-architectural execution model.
+//!
+//! The paper's experiments drive the machine with a small set of
+//! well-characterized workloads: `while(1)` busy loops, unrolled `pause`
+//! loops, FIRESTARTER 2, STREAM triad, pointer chasing, the Hackenberg
+//! RAPL-quality kernel set (`sqrt`, `add_pd`, `mul_pd`, `matmul`,
+//! `memory_read/write/copy`, `compute`, `busywait`, `idle`), and the
+//! operand-Hamming-weight kernels (`vxorps`, `shr`).
+//!
+//! Rather than simulating instructions one by one, each workload is
+//! described by a [`Kernel`]: sustained IPC (with and without an active SMT
+//! sibling), a per-execution-unit [`ActivityVector`] that drives the dynamic
+//! power model in `zen2-power`, per-instruction memory traffic, an EDC
+//! current intensity (what fraction of the electrical design current
+//! envelope the kernel pulls at nominal frequency), and a data-toggle
+//! sensitivity for operand-dependent power (Section VII-B).
+//!
+//! This is the same abstraction level the hardware's own power management
+//! uses: Zen 2's RAPL is "a model [that uses] data from processor internal
+//! resource usage monitors", and its EDC manager "monitors activity ... and
+//! throttles execution only when necessary".
+
+pub mod activity;
+pub mod hamming;
+pub mod ipc;
+pub mod kernel;
+pub mod kernels;
+
+#[cfg(test)]
+mod proptests;
+
+pub use activity::ActivityVector;
+pub use hamming::{relative_weight, sample_with_weight, OperandWeight, ToggleModel};
+pub use ipc::SmtMode;
+pub use kernel::{Kernel, KernelClass, MemoryProfile};
+pub use kernels::WorkloadSet;

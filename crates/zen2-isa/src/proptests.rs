@@ -1,0 +1,69 @@
+//! Property-based tests over the workload registry and data models.
+
+use crate::hamming::{relative_weight, sample_with_weight, OperandWeight, ToggleModel};
+use crate::ipc::SmtMode;
+use crate::kernels::WorkloadSet;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Every registered kernel validates and its core activity is a valid
+    /// activity vector in both SMT modes.
+    #[test]
+    fn all_kernels_stay_valid(idx in 0usize..17) {
+        let set = WorkloadSet::paper();
+        let kernel = &set.all()[idx];
+        prop_assert!(kernel.validate().is_ok());
+        kernel.core_activity(SmtMode::Single).validate().unwrap();
+        kernel.core_activity(SmtMode::Both).validate().unwrap();
+    }
+
+    /// SMT never lowers whole-core IPC and never lowers unit activity.
+    #[test]
+    fn smt_is_weakly_beneficial(idx in 0usize..17) {
+        let set = WorkloadSet::paper();
+        let kernel = &set.all()[idx];
+        prop_assert!(kernel.ipc_core(SmtMode::Both) >= kernel.ipc_core(SmtMode::Single) - 1e-12);
+        let s = kernel.core_activity(SmtMode::Single);
+        let b = kernel.core_activity(SmtMode::Both);
+        for ((_, sv), (_, bv)) in s.entries().iter().zip(b.entries().iter()) {
+            prop_assert!(bv >= sv || (*bv - *sv).abs() < 1e-12);
+        }
+    }
+
+    /// Toggle factors are positive, monotone in weight, and normalized at
+    /// weight 0.5 for any plausible swing.
+    #[test]
+    fn toggle_model_properties(swing in 0.0f64..1.5, w1 in 0.0f64..=1.0, w2 in 0.0f64..=1.0) {
+        let m = ToggleModel::with_relative_swing(swing);
+        prop_assert!((m.factor(OperandWeight::HALF) - 1.0).abs() < 1e-12);
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(m.factor(OperandWeight(lo)) <= m.factor(OperandWeight(hi)) + 1e-12);
+        prop_assert!(m.factor(OperandWeight::ZERO) > 0.0);
+    }
+
+    /// Sampled operands have the requested expected Hamming weight.
+    #[test]
+    fn sampled_operands_match_weight(weight in 0.05f64..0.95, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = OperandWeight(weight);
+        let mean: f64 = (0..300)
+            .map(|_| relative_weight(sample_with_weight(&mut rng, w)))
+            .sum::<f64>() / 300.0;
+        // 300 x 64 bits: standard error ~ sqrt(p q / 19200) < 0.004.
+        prop_assert!((mean - weight).abs() < 0.02, "mean {mean} vs {weight}");
+    }
+
+    /// DRAM demand scales linearly with frequency for every kernel.
+    #[test]
+    fn dram_demand_is_linear_in_frequency(idx in 0usize..17, f in 0.5f64..3.0) {
+        let set = WorkloadSet::paper();
+        let kernel = &set.all()[idx];
+        let base = kernel.dram_demand_bytes_per_s(SmtMode::Single, 1e9);
+        let scaled = kernel.dram_demand_bytes_per_s(SmtMode::Single, f * 1e9);
+        prop_assert!((scaled - base * f).abs() <= base * f * 1e-12 + 1e-9);
+    }
+}

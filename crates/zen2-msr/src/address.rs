@@ -1,0 +1,82 @@
+//! MSR addresses for AMD Family 17h Model 31h ("Rome") processors.
+//!
+//! Addresses follow the Processor Programming Reference (PPR) 55803. Only
+//! the registers exercised by the paper's experiments are modeled; reading
+//! anything else through [`crate::MsrFile`] raises the same error a real
+//! `rdmsr` of an unimplemented register would (#GP).
+
+/// Time-stamp counter (architectural).
+pub const TSC: u32 = 0x0000_0010;
+/// Max-performance counter: counts at P0 frequency while in C0 (architectural).
+pub const MPERF: u32 = 0x0000_00E7;
+/// Actual-performance counter: counts at the delivered frequency in C0
+/// (architectural). The APERF/MPERF ratio is how `cpufreq` and the paper's
+/// `perf` runs observe effective frequency.
+pub const APERF: u32 = 0x0000_00E8;
+
+/// Hardware configuration register (`Core::X86::Msr::HWCR`).
+pub const HWCR: u32 = 0xC001_0015;
+
+/// P-state current limit (`PStateCurLim`): lowest/highest available P-state.
+pub const PSTATE_CUR_LIM: u32 = 0xC001_0061;
+/// P-state control (`PStateCtl`): software writes the target P-state index.
+pub const PSTATE_CTL: u32 = 0xC001_0062;
+/// P-state status (`PStateStat`): the currently applied P-state index.
+pub const PSTATE_STAT: u32 = 0xC001_0063;
+/// First of eight P-state definition registers (`PStateDef[0..=7]`).
+pub const PSTATE_DEF_BASE: u32 = 0xC001_0064;
+/// Number of architecturally defined P-state definition registers.
+pub const NUM_PSTATE_DEFS: u32 = 8;
+
+/// Returns the address of `PStateDef[i]`.
+///
+/// # Panics
+/// Panics if `i >= 8`; the PPR defines exactly eight P-state registers.
+#[inline]
+pub fn pstate_def(i: u32) -> u32 {
+    assert!(i < NUM_PSTATE_DEFS, "PStateDef index {i} out of range (max 7)");
+    PSTATE_DEF_BASE + i
+}
+
+/// C-state base address (`CStateBaseAddr`): I/O port window whose accesses
+/// trigger C-state entry (Section III-B of the paper).
+pub const CSTATE_BASE_ADDR: u32 = 0xC001_0073;
+
+/// RAPL power unit register (`RAPL_PWR_UNIT`): power/energy/time unit fields.
+pub const RAPL_PWR_UNIT: u32 = 0xC001_0299;
+/// Per-core RAPL energy counter (`CORE_ENERGY_STAT`), 32-bit wrapping.
+pub const CORE_ENERGY_STAT: u32 = 0xC001_029A;
+/// Per-package RAPL energy counter (`PKG_ENERGY_STAT`), 32-bit wrapping.
+pub const PKG_ENERGY_STAT: u32 = 0xC001_029B;
+
+/// Intel's package energy MSR address — deliberately *not* implemented on
+/// AMD; kept as a constant so tests can assert that reading it faults, the
+/// way naive Intel-RAPL tooling does on Rome.
+pub const INTEL_PKG_ENERGY_STATUS: u32 = 0x0000_0611;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pstate_def_addresses_are_contiguous() {
+        assert_eq!(pstate_def(0), 0xC001_0064);
+        assert_eq!(pstate_def(7), 0xC001_006B);
+        for i in 1..8 {
+            assert_eq!(pstate_def(i), pstate_def(i - 1) + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pstate_def_rejects_index_8() {
+        let _ = pstate_def(8);
+    }
+
+    #[test]
+    fn rapl_addresses_match_ppr() {
+        assert_eq!(RAPL_PWR_UNIT, 0xC0010299);
+        assert_eq!(CORE_ENERGY_STAT, 0xC001029A);
+        assert_eq!(PKG_ENERGY_STAT, 0xC001029B);
+    }
+}

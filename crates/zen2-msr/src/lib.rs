@@ -1,0 +1,34 @@
+//! Family-17h (Zen 2) model-specific registers.
+//!
+//! The paper performs all of its low-level configuration and observation
+//! through MSRs, accessed "via the msr kernel module" (Section IV). This
+//! crate is the stand-in for that hardware/kernel interface: it provides
+//!
+//! * the Family-17h register addresses the paper touches
+//!   ([`address`]: P-state definition/control/status/limit registers, the
+//!   C-state base address register, the RAPL unit and energy counters,
+//!   APERF/MPERF),
+//! * bit-accurate encode/decode helpers for the P-state definition format
+//!   (FID/DID/VID — [`pstate::PstateDef`]) and the RAPL unit register
+//!   ([`rapl::RaplUnits`]),
+//! * a per-thread register file ([`MsrFile`]) with read-only enforcement
+//!   and #GP-like errors for unknown registers, mirroring `/dev/cpu/N/msr`
+//!   semantics.
+//!
+//! The simulator (`zen2-sim`) keeps these registers coherent with its
+//! internal state machines; experiments read and write them exactly like
+//! the paper's tooling did.
+
+pub mod address;
+pub mod cstate_addr;
+pub mod file;
+pub mod pstate;
+pub mod rapl;
+
+#[cfg(test)]
+mod proptests;
+
+pub use cstate_addr::CstateBaseAddress;
+pub use file::{MsrError, MsrFile};
+pub use pstate::{PstateDef, PstateTable};
+pub use rapl::RaplUnits;

@@ -1,0 +1,87 @@
+//! Property-based tests of the register encodings and the MSR file.
+
+use crate::address;
+use crate::cstate_addr::CstateBaseAddress;
+use crate::file::{MsrError, MsrFile};
+use crate::pstate::PstateDef;
+use crate::rapl::{counter_delta, RaplUnits};
+use proptest::prelude::*;
+use zen2_topology::{ThreadId, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// P-state definitions round-trip through the register encoding for
+    /// every field combination.
+    #[test]
+    fn pstate_def_round_trips(fid in 0u8..=255, did in 0u8..=63, vid in 0u8..=255,
+                              idd_value in 0u8..=63, idd_div in 0u8..=3,
+                              enabled in any::<bool>()) {
+        let def = PstateDef { fid, did, vid, idd_value, idd_div, enabled };
+        prop_assert_eq!(PstateDef::decode(def.encode()), def);
+    }
+
+    /// `for_frequency` produces a definition whose decoded frequency and
+    /// voltage match the request (within one VID step).
+    #[test]
+    fn for_frequency_is_faithful(steps in 1u32..=255, v_raw in 0.0f64..=1.54) {
+        let mhz = steps * 25;
+        let def = PstateDef::for_frequency(mhz, v_raw);
+        prop_assert_eq!(def.frequency_mhz(), Some(mhz));
+        prop_assert!((def.voltage_v() - v_raw).abs() <= crate::pstate::VID_STEP_V / 2.0 + 1e-12);
+    }
+
+    /// RAPL unit registers round-trip and unit conversion is consistent.
+    #[test]
+    fn rapl_units_round_trip(pu in 0u8..=15, esu in 0u8..=31, tu in 0u8..=15) {
+        let u = RaplUnits { power_unit: pu, energy_unit: esu, time_unit: tu };
+        prop_assert_eq!(RaplUnits::decode(u.encode()), u);
+        let j = 3.75;
+        let back = u.counts_to_joules(u.joules_to_counts(j));
+        prop_assert!(back <= j + 1e-12);
+        prop_assert!(j - back <= u.joules_per_count());
+    }
+
+    /// Counter deltas are exact under arbitrary wraparound.
+    #[test]
+    fn counter_delta_is_exact(start in any::<u32>(), add in 0u64..=u32::MAX as u64) {
+        let end = (start as u64).wrapping_add(add) as u32;
+        prop_assert_eq!(counter_delta(start, end), add);
+    }
+
+    /// C-state window ports round-trip for every level.
+    #[test]
+    fn cstate_window_round_trips(base in 0u16..=0xFF00, level in 1u8..=8) {
+        let addr = CstateBaseAddress { base_port: base };
+        let port = addr.port_for_level(level);
+        prop_assert_eq!(addr.level_for_port(port), Some(level));
+    }
+
+    /// Software writes to writable registers are read back verbatim per
+    /// thread; read-only and unknown registers error deterministically.
+    #[test]
+    fn msr_file_semantics(thread in 0u32..128, value in any::<u64>()) {
+        let topo = Topology::epyc_7502_2s();
+        let mut file = MsrFile::new(&topo);
+        let t = ThreadId(thread);
+        file.write(t, address::PSTATE_CTL, value).unwrap();
+        prop_assert_eq!(file.read(t, address::PSTATE_CTL).unwrap(), value);
+        // Neighbors are untouched.
+        let other = ThreadId((thread + 1) % 128);
+        prop_assert_eq!(file.read(other, address::PSTATE_CTL).unwrap(), 0);
+        prop_assert_eq!(
+            file.write(t, address::PKG_ENERGY_STAT, value).unwrap_err(),
+            MsrError::ReadOnly { msr: address::PKG_ENERGY_STAT }
+        );
+    }
+
+    /// `bump` with arbitrary deltas always stays within the register width.
+    #[test]
+    fn bump_respects_width(start in any::<u64>(), delta in any::<u64>()) {
+        let topo = Topology::epyc_7502_2s();
+        let mut file = MsrFile::new(&topo);
+        file.poke(ThreadId(0), address::CORE_ENERGY_STAT, start & 0xFFFF_FFFF);
+        file.bump(ThreadId(0), address::CORE_ENERGY_STAT, delta, 32);
+        prop_assert!(file.peek(ThreadId(0), address::CORE_ENERGY_STAT) <= u32::MAX as u64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Power models for the simulated EPYC 7502 system.
+//!
+//! The model is component-based and calibrated end-to-end against the
+//! paper's external AC measurements (ZES LMG670):
+//!
+//! * [`voltage::VfCurve`] — the voltage/frequency operating points behind
+//!   the P-state table (dynamic power scales with `f·V²`).
+//! * [`core::CorePowerModel`] — per-core power: a frequency-scaled base
+//!   plus per-unit switched capacitance driven by `zen2-isa` activity
+//!   vectors, with an operand-toggle term for data-dependent power
+//!   (Section VII-B). C1 leaves a small clock-gate residual (+0.09 W/core,
+//!   frequency-independent, Fig. 7); C2 power-gates the core entirely.
+//! * [`package::PackagePowerParams`] — socket-level budget: the deep
+//!   package sleep floor, the large "awake" adder paid as soon as *any*
+//!   thread in the system leaves the deepest C-state (+81.2 W system-wide,
+//!   Fig. 7), the I/O-die share scaled by its P-state, and the PPT limit
+//!   that the EDC/PPT controller enforces (Fig. 6).
+//! * [`dram::DramPowerModel`] — DIMM standby/self-refresh plus traffic
+//!   energy; *not* visible to RAPL, which is the paper's headline RAPL
+//!   finding.
+//! * [`psu::PsuModel`] — linear AC/DC conversion loss, mapping component
+//!   DC power onto the wall-power readings of the paper.
+//! * [`thermal::ThermalModel`] — first-order package RC and a
+//!   leakage-vs-temperature term; the indirect path by which operand data
+//!   becomes (barely) visible to RAPL.
+//! * [`meter::PowerMeter`] — the LMG670: ±(0.015 % + 0.0625 W) accuracy at
+//!   20 Sa/s, sampled out-of-band.
+
+pub mod core;
+pub mod dram;
+pub mod meter;
+pub mod package;
+pub mod psu;
+pub mod thermal;
+pub mod voltage;
+
+#[cfg(test)]
+mod proptests;
+
+pub use crate::core::CorePowerModel;
+pub use dram::DramPowerModel;
+pub use meter::{MeterSample, PowerMeter};
+pub use package::PackagePowerParams;
+pub use psu::PsuModel;
+pub use thermal::{LeakageModel, ThermalModel};
+pub use voltage::VfCurve;
+
+/// The complete calibrated power-model bundle for the paper's test system.
+#[derive(Debug, Clone)]
+pub struct SystemPowerParams {
+    /// Voltage/frequency curve shared by all cores.
+    pub vf: VfCurve,
+    /// Per-core power model.
+    pub core: CorePowerModel,
+    /// Per-socket budget.
+    pub package: PackagePowerParams,
+    /// Memory power model (whole system).
+    pub dram: DramPowerModel,
+    /// AC conversion.
+    pub psu: PsuModel,
+    /// Package thermal model.
+    pub thermal: ThermalModel,
+    /// Leakage-vs-temperature model.
+    pub leakage: LeakageModel,
+    /// Fixed platform DC power (fans, board, BMC, storage), in watts.
+    pub platform_dc_w: f64,
+}
+
+impl Default for SystemPowerParams {
+    fn default() -> Self {
+        Self::epyc_7502_2s()
+    }
+}
+
+impl SystemPowerParams {
+    /// The calibration used throughout the reproduction (see DESIGN.md §3).
+    pub fn epyc_7502_2s() -> Self {
+        Self {
+            vf: VfCurve::epyc_7502(),
+            core: CorePowerModel::zen2(),
+            package: PackagePowerParams::epyc_7502(),
+            dram: DramPowerModel::sixteen_dimms(),
+            psu: PsuModel::server_psu(),
+            thermal: ThermalModel::two_socket_air(),
+            leakage: LeakageModel::zen2(),
+            platform_dc_w: 38.0,
+        }
+    }
+
+    /// A single-socket EPYC 7742 system for the paper's future-work
+    /// many-core prediction (same core model, top-bin voltage curve,
+    /// 225 W-class package, eight DIMMs).
+    pub fn epyc_7742_1s() -> Self {
+        Self {
+            vf: VfCurve::epyc_7742(),
+            package: PackagePowerParams::epyc_7742(),
+            dram: DramPowerModel { dimms: 8, ..DramPowerModel::sixteen_dimms() },
+            ..Self::epyc_7502_2s()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_floor_matches_fig7_all_c2() {
+        // All 128 threads in C2: both packages in the deep sleep state,
+        // DRAM in self-refresh. Paper: 99.1 W AC.
+        let p = SystemPowerParams::epyc_7502_2s();
+        let dc = 2.0 * p.package.pc6_w + p.dram.self_refresh_w() + p.platform_dc_w;
+        let ac = p.psu.ac_from_dc(dc);
+        assert!((ac - 99.1).abs() < 1.5, "idle floor {ac:.1} W vs paper 99.1 W");
+    }
+
+    #[test]
+    fn first_wake_adder_matches_fig7() {
+        // One thread leaving C2 wakes both packages: +81.2 W AC. The
+        // just-woken dies sit near the sleeping steady state (~29 °C),
+        // where the leakage multiplier shaves ~2 % off the adder.
+        let p = SystemPowerParams::epyc_7502_2s();
+        let idle_die_c = p.thermal.steady_state_c(p.package.pc6_w);
+        let leak = p.leakage.multiplier(idle_die_c);
+        let delta_dc = 2.0 * p.package.awake_adder_w * leak
+            + (p.dram.standby_w() - p.dram.self_refresh_w())
+            + p.core.c1_residual_w;
+        let delta_ac = p.psu.marginal_ac_per_dc * delta_dc;
+        assert!((delta_ac - 81.2).abs() < 1.5, "wake adder {delta_ac:.1} W vs paper 81.2 W");
+    }
+}

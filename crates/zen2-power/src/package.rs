@@ -1,0 +1,131 @@
+//! Socket-level power budget.
+//!
+//! Fig. 7 of the paper fixes the package-level calibration:
+//!
+//! * all threads of *all* packages in C2 → both packages in the deep
+//!   package sleep state (PC6): the system idles at 99.1 W AC;
+//! * a single thread anywhere leaving C2 wakes **both** packages
+//!   (+81.2 W AC) — "there appears to be only one criterion for deep
+//!   package sleep states: All threads of all packages must be in the
+//!   deepest sleep state";
+//! * each further core out of C2 adds only ~0.09 W (C1) or ~0.33 W
+//!   (active pause at 2.5 GHz).
+//!
+//! [`PackagePowerParams`] carries the per-socket constants; the global
+//! PC6 criterion itself lives in the simulator's C-state controller.
+
+use serde::{Deserialize, Serialize};
+use zen2_mem::{DramFreq, IodPstate};
+
+/// Per-socket power constants (DC watts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PackagePowerParams {
+    /// Deep package sleep (PC6) floor: retention voltage on the core
+    /// plane, I/O die mostly gated.
+    pub pc6_w: f64,
+    /// Cost of waking the package out of PC6 (core power plane at active
+    /// voltage, I/O die and L3 meshes clocking, DDR PHYs out of low-power)
+    /// with the I/O die at its reference P-state. Excludes per-core power.
+    pub awake_adder_w: f64,
+    /// The I/O-die share inside `awake_adder_w`; scales with the I/O-die
+    /// P-state ("using higher I/O die P-states reduces power consumption").
+    pub iod_share_w: f64,
+    /// Infinity-fabric energy per memory traffic, W per GB/s.
+    pub fabric_w_per_gbs: f64,
+    /// Thermal design power (the paper's stated 180 W per socket).
+    pub tdp_w: f64,
+    /// The SMU's package-power target for its PPT control loop, applied to
+    /// the SMU's *estimated* (RAPL-model) power. Matches the 170 W the
+    /// RAPL package counter reports under FIRESTARTER in Fig. 6.
+    pub ppt_estimated_w: f64,
+}
+
+impl Default for PackagePowerParams {
+    fn default() -> Self {
+        Self::epyc_7502()
+    }
+}
+
+impl PackagePowerParams {
+    /// Calibrated constants for the EPYC 7502 (see the crate tests for the
+    /// end-to-end Fig. 7 arithmetic).
+    pub fn epyc_7502() -> Self {
+        Self {
+            pc6_w: 15.3,
+            // Calibrated so that, *after* the leakage multiplier at the
+            // cool just-woken die temperature (~29 °C, factor ~0.981), the
+            // system-level wake step lands on the paper's +81.2 W AC.
+            awake_adder_w: 34.2,
+            iod_share_w: 20.0,
+            fabric_w_per_gbs: 0.0,
+            tdp_w: 180.0,
+            ppt_estimated_w: 170.0,
+        }
+    }
+
+    /// An EPYC 7742 package (225 W TDP class): more cores and L3 behind
+    /// the same I/O die, a proportionally larger PPT budget.
+    pub fn epyc_7742() -> Self {
+        Self {
+            pc6_w: 17.0,
+            awake_adder_w: 38.0,
+            iod_share_w: 20.0,
+            fabric_w_per_gbs: 0.0,
+            tdp_w: 225.0,
+            ppt_estimated_w: 212.0,
+        }
+    }
+
+    /// The awake adder with the I/O die at a given P-state.
+    pub fn awake_adder_at(&self, pstate: IodPstate, dram: DramFreq) -> f64 {
+        let non_iod = self.awake_adder_w - self.iod_share_w;
+        non_iod + self.iod_share_w * pstate.relative_power(dram)
+    }
+
+    /// Package power when the socket sits in PC6.
+    pub fn sleeping_w(&self) -> f64 {
+        self.pc6_w
+    }
+
+    /// Package base power (before per-core contributions) when awake.
+    pub fn awake_base_w(&self, pstate: IodPstate, dram: DramFreq) -> f64 {
+        self.pc6_w + self.awake_adder_at(pstate, dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn awake_base_matches_calibration() {
+        let p = PackagePowerParams::epyc_7502();
+        let base = p.awake_base_w(IodPstate::Auto, DramFreq::Mhz1467);
+        assert!((base - 49.5).abs() < 1e-9, "awake base {base}");
+    }
+
+    #[test]
+    fn deeper_iod_pstate_saves_power() {
+        let p = PackagePowerParams::epyc_7502();
+        let at_p0 = p.awake_base_w(IodPstate::P0, DramFreq::Mhz1467);
+        let at_p3 = p.awake_base_w(IodPstate::P3, DramFreq::Mhz1467);
+        assert!(at_p3 < at_p0);
+        // The I/O die never fully powers down while awake.
+        assert!(at_p0 - at_p3 < p.iod_share_w * 0.65);
+    }
+
+    #[test]
+    fn ppt_target_sits_below_tdp() {
+        // Fig. 6: RAPL reports 170 W while the TDP is 180 W — the control
+        // loop regulates its own estimate, not the external truth.
+        let p = PackagePowerParams::epyc_7502();
+        assert!(p.ppt_estimated_w < p.tdp_w);
+        assert_eq!(p.ppt_estimated_w, 170.0);
+    }
+
+    #[test]
+    fn sleeping_is_much_cheaper_than_awake() {
+        let p = PackagePowerParams::epyc_7502();
+        assert!(p.sleeping_w() * 3.0 < p.awake_base_w(IodPstate::Auto, DramFreq::Mhz1467));
+    }
+}

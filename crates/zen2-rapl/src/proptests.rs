@@ -1,0 +1,82 @@
+//! Property-based tests of the RAPL accounting pipeline.
+
+use crate::accounting::RaplAccounting;
+use crate::model::RaplModel;
+use crate::reader::CounterTracker;
+use proptest::prelude::*;
+use zen2_isa::{KernelClass, SmtMode, WorkloadSet};
+use zen2_msr::RaplUnits;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Published counters are monotone (pre-wrap) and never ahead of the
+    /// continuously integrated energy.
+    #[test]
+    fn publication_is_monotone(powers in prop::collection::vec(0.0f64..300.0, 1..40)) {
+        let mut acc = RaplAccounting::new(1, 1);
+        let mut now = 0u64;
+        let mut last_pub = 0.0;
+        let mut total = 0.0;
+        for w in powers {
+            let dt = 0.0004; // 400 us steps
+            acc.accumulate(dt, &[w / 2.0], &[w]);
+            total += w * dt;
+            now += 400_000;
+            acc.maybe_publish(now);
+            let published = acc.package_published_joules(0);
+            prop_assert!(published >= last_pub);
+            prop_assert!(published <= total + 1e-9);
+            last_pub = published;
+        }
+    }
+
+    /// A tracker polling the quantized counter reconstructs total energy
+    /// within quantization error, for any poll pattern that outruns the
+    /// wrap interval.
+    #[test]
+    fn tracker_reconstructs_energy(chunks in prop::collection::vec(0.1f64..50.0, 1..30)) {
+        let units = RaplUnits::amd_default();
+        let mut acc = RaplAccounting::new(1, 1);
+        let mut tracker = CounterTracker::new(0);
+        let mut now = 0u64;
+        let mut total = 0.0;
+        for j in chunks {
+            // Deposit `j` joules over 1 ms and publish.
+            acc.accumulate(0.001, &[0.0], &[j * 1000.0]);
+            total += j;
+            now += 1_000_000;
+            acc.maybe_publish(now);
+            tracker.update(acc.package_counter(0));
+        }
+        let reconstructed = tracker.total_joules(&units);
+        prop_assert!((reconstructed - total).abs() <= units.joules_per_count() * 2.0,
+            "reconstructed {reconstructed} vs {total}");
+    }
+
+    /// The estimate model is monotone in frequency and temperature for
+    /// every kernel.
+    #[test]
+    fn estimate_is_monotone(idx in 0usize..17, f1 in 1.0f64..3.0, f2 in 1.0f64..3.0) {
+        let set = WorkloadSet::paper();
+        let kernel = &set.all()[idx];
+        if kernel.class == KernelClass::Idle {
+            return Ok(());
+        }
+        let m = RaplModel::zen2();
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let at = |f: f64| m.core_estimate_w(kernel, SmtMode::Single, f, 0.9, 68.0);
+        prop_assert!(at(hi) >= at(lo) - 1e-12);
+        let warm = m.core_estimate_w(kernel, SmtMode::Single, lo, 0.9, 80.0);
+        prop_assert!(warm >= at(lo));
+    }
+
+    /// Package estimates decompose exactly into cores + uncore constant.
+    #[test]
+    fn package_estimate_decomposes(cores_sum in 0.0f64..400.0, awake in any::<bool>()) {
+        let m = RaplModel::zen2();
+        let pkg = m.package_estimate_w(cores_sum, awake);
+        let uncore = if awake { m.uncore_awake_w } else { m.uncore_pc6_w };
+        prop_assert!((pkg - cores_sum - uncore).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,275 @@
+//! Simulation configuration: the machine preset plus ablation switches.
+
+use crate::time::{Ns, MICROSECOND, MILLISECOND};
+use zen2_mem::{DramFreq, DramLatencyModel, IodPstate, L3LatencyModel, StreamBandwidthModel};
+use zen2_msr::PstateTable;
+use zen2_power::SystemPowerParams;
+use zen2_rapl::RaplModel;
+use zen2_topology::Topology;
+
+/// SMU timing behavior (Section V-B calibration).
+#[derive(Debug, Clone)]
+pub struct SmuParams {
+    /// Period of the frequency-update slots (1 ms on Rome vs 500 µs on the
+    /// Intel parts the paper compares against).
+    pub slot_period_ns: Ns,
+    /// Ramp duration for a granted frequency increase.
+    pub ramp_up_ns: Ns,
+    /// Ramp duration for a granted frequency decrease.
+    pub ramp_down_ns: Ns,
+    /// Ramp duration for a fast-path decrease (previous transition not yet
+    /// settled; Section V-B's "down to 160 µs").
+    pub fast_ramp_down_ns: Ns,
+    /// Latency of an instantaneous fast-path increase ("some transitions
+    /// are executed instantaneously (1 µs delay)").
+    pub fast_up_ns: Ns,
+    /// How long a completed transition keeps its state latched; returning
+    /// within this window enables the fast paths ("the effect disappears
+    /// with random wait times of at least 5 ms").
+    pub settle_window_ns: Ns,
+    /// Maximum voltage difference for which the fast path is electrically
+    /// possible — V(2.5)−V(2.2) qualifies, V(2.2)−V(1.5) does not, which
+    /// is why the paper saw the anomaly only between 2.2 and 2.5 GHz.
+    pub fast_path_max_dv: f64,
+    /// Enables the lazy-settle fast path at all (ablation switch).
+    pub fast_path_enabled: bool,
+}
+
+impl Default for SmuParams {
+    fn default() -> Self {
+        Self {
+            slot_period_ns: MILLISECOND,
+            ramp_up_ns: 360 * MICROSECOND,
+            ramp_down_ns: 390 * MICROSECOND,
+            fast_ramp_down_ns: 160 * MICROSECOND,
+            fast_up_ns: MICROSECOND,
+            settle_window_ns: 5 * MILLISECOND,
+            fast_path_max_dv: 0.06,
+            fast_path_enabled: true,
+        }
+    }
+}
+
+/// C-state timing behavior (Fig. 8 calibration).
+#[derive(Debug, Clone)]
+pub struct CstateParams {
+    /// Core cycles to return from C1 (clock ungating + pipeline restart):
+    /// ~1 µs at 2.5 GHz, ~1.5 µs at 1.5 GHz.
+    pub c1_exit_cycles: f64,
+    /// Fixed time to power-ungate a core leaving C2.
+    pub c2_ungate_ns: Ns,
+    /// Core cycles of state restore after the C2 ungate.
+    pub c2_exit_cycles: f64,
+    /// Extra latency when caller and callee sit on different sockets
+    /// ("transition times for remote configurations only add a small
+    /// overhead (~1 µs)").
+    pub remote_extra_ns: Ns,
+    /// Latency the ACPI tables report to the OS for C1 (1 µs on the test
+    /// system).
+    pub acpi_reported_c1_ns: Ns,
+    /// Latency the ACPI tables report for C2 (400 µs — far above the
+    /// 20-25 µs the paper measures).
+    pub acpi_reported_c2_ns: Ns,
+    /// Probability that a wakeup sample is perturbed by the measurement
+    /// itself (the outliers visible in Fig. 8).
+    pub outlier_probability: f64,
+    /// Scale of outlier perturbation in nanoseconds.
+    pub outlier_scale_ns: f64,
+}
+
+impl Default for CstateParams {
+    fn default() -> Self {
+        Self {
+            c1_exit_cycles: 2_500.0,
+            c2_ungate_ns: 12 * MICROSECOND,
+            c2_exit_cycles: 20_000.0,
+            remote_extra_ns: MICROSECOND,
+            acpi_reported_c1_ns: MICROSECOND,
+            acpi_reported_c2_ns: 400 * MICROSECOND,
+            outlier_probability: 0.015,
+            outlier_scale_ns: 4_000.0,
+        }
+    }
+}
+
+/// OS-side behavior.
+#[derive(Debug, Clone)]
+pub struct OsParams {
+    /// Cycles per second an "idle" hardware thread still burns on timer
+    /// interrupts — the paper observes "less than 60 000 cycle/s".
+    pub idle_wake_cycles_per_s: f64,
+    /// Offlined threads park in C1 rather than the deepest state (the
+    /// Section VI-B anomaly; ablation switch).
+    pub offline_parks_in_c1: bool,
+}
+
+impl Default for OsParams {
+    fn default() -> Self {
+        Self { idle_wake_cycles_per_s: 50_000.0, offline_parks_in_c1: true }
+    }
+}
+
+/// Controller (PPT/EDC) behavior.
+#[derive(Debug, Clone)]
+pub struct ControllerParams {
+    /// Whether the telemetry throttle loop runs at all (ablation switch).
+    pub enabled: bool,
+    /// Frequency step per slot, in MHz (Precision-Boost granularity).
+    pub step_mhz: u32,
+    /// Hysteresis band below the PPT target within which the cap holds.
+    pub deadband_w: f64,
+    /// Maximum boost frequency with Core Performance Boost enabled (MHz);
+    /// `None` disables boost (the paper's default configuration).
+    pub boost_max_mhz: Option<u32>,
+}
+
+impl Default for ControllerParams {
+    fn default() -> Self {
+        // The deadband must cover the estimate change of one 25 MHz step
+        // (~2.5 W under full load) or the loop dithers around the target.
+        Self { enabled: true, step_mhz: 25, deadband_w: 3.0, boost_max_mhz: None }
+    }
+}
+
+/// Complete simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Machine shape.
+    pub topology: Topology,
+    /// Core P-state table.
+    pub pstates: PstateTable,
+    /// BIOS I/O-die P-state selection.
+    pub iod_pstate: IodPstate,
+    /// BIOS DRAM clock selection.
+    pub dram: DramFreq,
+    /// True-power models.
+    pub power: SystemPowerParams,
+    /// The SMU's internal power model (also the RAPL counters' source).
+    pub rapl: RaplModel,
+    /// Memory latency model.
+    pub dram_latency: DramLatencyModel,
+    /// L3 latency model.
+    pub l3_latency: L3LatencyModel,
+    /// STREAM bandwidth model.
+    pub bandwidth: StreamBandwidthModel,
+    /// SMU timing.
+    pub smu: SmuParams,
+    /// C-state timing.
+    pub cstate: CstateParams,
+    /// OS behavior.
+    pub os: OsParams,
+    /// Throttle-controller behavior.
+    pub controller: ControllerParams,
+    /// CCX clock coupling on/off (ablation switch; off = every core gets
+    /// exactly its requested frequency).
+    pub ccx_coupling: bool,
+    /// Package-C6 criterion is global across sockets (the paper's
+    /// observation) vs per-package (ablation switch).
+    pub global_package_c6: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::epyc_7502_2s()
+    }
+}
+
+impl SimConfig {
+    /// The paper's test system.
+    pub fn epyc_7502_2s() -> Self {
+        Self {
+            topology: Topology::epyc_7502_2s(),
+            pstates: PstateTable::epyc_7502(),
+            iod_pstate: IodPstate::Auto,
+            dram: DramFreq::Mhz1467,
+            power: SystemPowerParams::epyc_7502_2s(),
+            rapl: RaplModel::zen2(),
+            dram_latency: DramLatencyModel::zen2(),
+            l3_latency: L3LatencyModel::default(),
+            bandwidth: StreamBandwidthModel::zen2(),
+            smu: SmuParams::default(),
+            cstate: CstateParams::default(),
+            os: OsParams::default(),
+            controller: ControllerParams::default(),
+            ccx_coupling: true,
+            global_package_c6: true,
+        }
+    }
+
+    /// A single-socket variant for cheaper sweeps.
+    pub fn epyc_7502_1s() -> Self {
+        Self { topology: Topology::epyc_7502_1s(), ..Self::epyc_7502_2s() }
+    }
+
+    /// A single-socket 64-core EPYC 7742 for the paper's future-work
+    /// prediction: "we expect a more severe impact, since the ratio of
+    /// compute to I/O resources is higher".
+    pub fn epyc_7742_1s() -> Self {
+        Self {
+            topology: Topology::epyc_7742_1s(),
+            pstates: zen2_msr::PstateTable::epyc_7742(),
+            power: SystemPowerParams::epyc_7742_1s(),
+            ..Self::epyc_7502_2s()
+        }
+    }
+
+    /// Nominal (P0) frequency in MHz.
+    pub fn nominal_mhz(&self) -> u32 {
+        self.pstates.frequencies_mhz()[0]
+    }
+
+    /// Minimum defined frequency in MHz.
+    pub fn min_mhz(&self) -> u32 {
+        *self.pstates.frequencies_mhz().last().expect("table is non-empty")
+    }
+
+    /// Voltage for a frequency in MHz.
+    pub fn voltage_for_mhz(&self, mhz: u32) -> f64 {
+        self.power.vf.voltage(mhz as f64 / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_shape() {
+        let c = SimConfig::epyc_7502_2s();
+        assert_eq!(c.topology.num_threads(), 128);
+        assert_eq!(c.nominal_mhz(), 2500);
+        assert_eq!(c.min_mhz(), 1500);
+        assert!(c.ccx_coupling && c.global_package_c6);
+        assert!(c.controller.boost_max_mhz.is_none(), "paper runs with boost disabled");
+    }
+
+    #[test]
+    fn fast_path_voltage_window_separates_pairs() {
+        let c = SimConfig::epyc_7502_2s();
+        let dv_25_22 = (c.voltage_for_mhz(2500) - c.voltage_for_mhz(2200)).abs();
+        let dv_22_15 = (c.voltage_for_mhz(2200) - c.voltage_for_mhz(1500)).abs();
+        assert!(dv_25_22 <= c.smu.fast_path_max_dv, "2.5<->2.2 GHz must be fast-path capable");
+        assert!(dv_22_15 > c.smu.fast_path_max_dv, "2.2<->1.5 GHz must not be");
+    }
+
+    #[test]
+    fn smu_defaults_match_paper_numbers() {
+        let s = SmuParams::default();
+        assert_eq!(s.slot_period_ns, 1_000_000);
+        assert_eq!(s.ramp_down_ns, 390_000);
+        assert_eq!(s.ramp_up_ns, 360_000);
+        assert_eq!(s.settle_window_ns, 5_000_000);
+    }
+
+    #[test]
+    fn cstate_defaults_match_fig8() {
+        let c = CstateParams::default();
+        // C1 at 2.5 GHz: 2500 cycles = 1 us.
+        assert!((c.c1_exit_cycles / 2.5e9 - 1.0e-6).abs() < 1e-8);
+        // C2 at 2.5 GHz: 12 us + 8 us = 20 us; at 1.5 GHz: ~25.3 us.
+        let c2_25 = c.c2_ungate_ns as f64 + c.c2_exit_cycles / 2.5;
+        assert!((c2_25 - 20_000.0).abs() < 100.0);
+        let c2_15 = c.c2_ungate_ns as f64 + c.c2_exit_cycles / 1.5;
+        assert!(c2_15 > 24_000.0 && c2_15 < 26_000.0);
+    }
+}

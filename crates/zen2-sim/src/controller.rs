@@ -1,0 +1,180 @@
+//! The SMU's telemetry throttle loop (Section V-E).
+//!
+//! Zen 2 replaced Intel's static AVX-frequency tables with "an intelligent
+//! EDC manager which monitors activity ... and throttles execution only
+//! when necessary". In this reproduction the loop regulates the SMU's own
+//! *estimated* package power (the same model that feeds the RAPL counters)
+//! against its PPT target: each update slot it lowers the package-wide
+//! frequency cap by one 25 MHz step while the estimate exceeds the target,
+//! and raises the cap when there is headroom beyond a deadband. Because
+//! the estimate — not the wall truth — is regulated, the counters read a
+//! flat 170 W under FIRESTARTER while the external meter shows 489/509 W
+//! (Fig. 6).
+
+use crate::config::ControllerParams;
+use serde::{Deserialize, Serialize};
+
+/// Per-package frequency-cap controller state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PptController {
+    params_enabled: bool,
+    step_mhz: u32,
+    deadband_w: f64,
+    /// Current cap in MHz.
+    cap_mhz: u32,
+    /// Ceiling the cap may return to (nominal, or boost maximum).
+    max_mhz: u32,
+    /// Floor (lowest P-state; the controller never stalls cores).
+    min_mhz: u32,
+}
+
+impl PptController {
+    /// Creates a controller capped at `max_mhz` (nominal or boost).
+    pub fn new(params: &ControllerParams, max_mhz: u32, min_mhz: u32) -> Self {
+        assert!(min_mhz <= max_mhz, "cap range inverted");
+        let ceiling = params.boost_max_mhz.map_or(max_mhz, |b| b.max(max_mhz));
+        Self {
+            params_enabled: params.enabled,
+            step_mhz: params.step_mhz,
+            deadband_w: params.deadband_w,
+            cap_mhz: ceiling,
+            max_mhz: ceiling,
+            min_mhz,
+        }
+    }
+
+    /// The current package-wide frequency cap in MHz.
+    pub fn cap_mhz(&self) -> u32 {
+        self.cap_mhz
+    }
+
+    /// One control step, called at each SMU slot with the package's
+    /// estimated power and the lowest frequency currently *applied* on the
+    /// package. Stepping relative to the applied frequency (not the
+    /// previous cap) is the loop's anti-windup: DVFS transitions lag the
+    /// telemetry by up to 1.4 ms, and without it the cap would wind far
+    /// past the equilibrium and oscillate. Returns `true` if the cap
+    /// changed.
+    pub fn step(&mut self, estimated_w: f64, ppt_target_w: f64, applied_mhz: u32) -> bool {
+        if !self.params_enabled {
+            return false;
+        }
+        let before = self.cap_mhz;
+        if estimated_w > ppt_target_w && self.cap_mhz > self.min_mhz {
+            // One step below what is actually applied.
+            self.cap_mhz =
+                self.cap_mhz.min(applied_mhz).saturating_sub(self.step_mhz).max(self.min_mhz);
+        } else if estimated_w < ppt_target_w - self.deadband_w && self.cap_mhz < self.max_mhz {
+            // One step above what is actually applied.
+            self.cap_mhz = (applied_mhz + self.step_mhz).min(self.max_mhz).max(self.min_mhz);
+        }
+        self.cap_mhz != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> PptController {
+        PptController::new(&ControllerParams::default(), 2500, 1500)
+    }
+
+    /// A toy estimate: proportional to frequency, calibrated so the
+    /// equilibrium sits strictly between two 25 MHz steps.
+    fn estimate(cap_mhz: u32, w_per_mhz: f64) -> f64 {
+        cap_mhz as f64 * w_per_mhz
+    }
+
+    #[test]
+    fn converges_to_equilibrium_and_holds() {
+        let mut c = controller();
+        // 0.0833 W/MHz: 170 W at ~2041 MHz. Applied tracks the cap with no
+        // lag in this unit test.
+        let mut changes = 0;
+        for _ in 0..1000 {
+            if c.step(estimate(c.cap_mhz(), 0.0833), 170.0, c.cap_mhz()) {
+                changes += 1;
+            }
+        }
+        let eq = c.cap_mhz();
+        assert!((2025..=2050).contains(&eq), "equilibrium {eq} MHz");
+        // After convergence the cap must be stable (deadband).
+        let before = c.cap_mhz();
+        for _ in 0..100 {
+            c.step(estimate(c.cap_mhz(), 0.0833), 170.0, c.cap_mhz());
+        }
+        assert_eq!(c.cap_mhz(), before, "controller must not dither");
+        assert!(changes < 30, "convergence should take ~19 steps, took {changes}");
+    }
+
+    #[test]
+    fn converges_despite_transition_lag() {
+        // The applied frequency follows the cap only every third step
+        // (modeling the ~1.4 ms ramp): anti-windup must prevent a limit
+        // cycle.
+        let mut c = controller();
+        let mut applied = 2500u32;
+        for i in 0..2000 {
+            if i % 3 == 0 {
+                applied = c.cap_mhz();
+            }
+            c.step(estimate(applied, 0.0833), 170.0, applied);
+        }
+        assert!((2000..=2075).contains(&applied), "lagged equilibrium {applied} MHz");
+    }
+
+    #[test]
+    fn light_load_never_throttles() {
+        let mut c = controller();
+        for _ in 0..100 {
+            c.step(90.0, 170.0, c.cap_mhz());
+        }
+        assert_eq!(c.cap_mhz(), 2500);
+    }
+
+    #[test]
+    fn cap_recovers_when_load_drops() {
+        let mut c = controller();
+        let mut applied;
+        for _ in 0..100 {
+            applied = c.cap_mhz();
+            c.step(estimate(applied, 0.0833), 170.0, applied);
+        }
+        assert!(c.cap_mhz() < 2100);
+        for _ in 0..100 {
+            applied = c.cap_mhz();
+            c.step(50.0, 170.0, applied);
+        }
+        assert_eq!(c.cap_mhz(), 2500);
+    }
+
+    #[test]
+    fn cap_never_leaves_the_pstate_range() {
+        let mut c = controller();
+        for _ in 0..200 {
+            c.step(1_000.0, 170.0, c.cap_mhz());
+        }
+        assert_eq!(c.cap_mhz(), 1500, "floor at the lowest P-state");
+    }
+
+    #[test]
+    fn disabled_controller_is_inert() {
+        let params = ControllerParams { enabled: false, ..ControllerParams::default() };
+        let mut c = PptController::new(&params, 2500, 1500);
+        assert!(!c.step(1_000.0, 170.0, 2500));
+        assert_eq!(c.cap_mhz(), 2500);
+    }
+
+    #[test]
+    fn boost_raises_the_ceiling() {
+        let params = ControllerParams { boost_max_mhz: Some(3350), ..ControllerParams::default() };
+        let mut c = PptController::new(&params, 2500, 1500);
+        assert_eq!(c.cap_mhz(), 3350);
+        // Heavy load still pulls it down into the normal range.
+        for _ in 0..200 {
+            c.step(estimate(c.cap_mhz(), 0.0833), 170.0, c.cap_mhz());
+        }
+        assert!((2025..=2050).contains(&c.cap_mhz()));
+    }
+}

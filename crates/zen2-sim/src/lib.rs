@@ -1,0 +1,56 @@
+//! Deterministic simulator of the paper's dual-socket AMD EPYC 7502 system.
+//!
+//! The simulator is event-driven with piecewise-constant power segments:
+//! machine state (thread workloads, C-states, DVFS targets) changes only at
+//! explicit events, so power, performance counters and RAPL energy can be
+//! integrated exactly between events. All stochastic behavior (measurement
+//! noise, random waits) flows from a caller-supplied seed.
+//!
+//! The interesting control machinery, each in its own module:
+//!
+//! * [`smu`] — the SMU network's DVFS behavior: requests are granted only
+//!   at 1 ms update slots, ramps take 390 µs down / 360 µs up, and an
+//!   incomplete previous transition enables the 2.2↔2.5 GHz fast paths of
+//!   Section V-B (down to 160 µs, or 1 µs for an instantaneous return).
+//! * [`ccx`] — the CCX clock mesh: the L3 and mesh follow the fastest core
+//!   in the complex, and slower cores are re-derived from the mesh through
+//!   a ⅛-step frequency divider. That divider granularity reproduces the
+//!   paper's Table I *exactly* (2.2 GHz set → 2.000 GHz applied when a
+//!   2.5 GHz neighbor raises the mesh).
+//! * [`cstate`] — idle-state machinery including the global package-C6
+//!   criterion ("all threads of all packages must be in the deepest sleep
+//!   state") and the offline-thread anomaly of Section VI-B.
+//! * [`controller`] — the SMU telemetry loop ("an intelligent EDC manager
+//!   which monitors activity and throttles execution only when necessary"):
+//!   regulates the *estimated* package power (the RAPL model) against its
+//!   PPT target in 25 MHz steps.
+//! * [`power`] — true-power integration: cores, package base, DRAM
+//!   traffic, PSU, thermal/leakage feedback, the meter trace and the RAPL
+//!   energy accounting.
+//! * [`perf`] — TSC/APERF/MPERF/instructions accounting, including the
+//!   timer-tick cycles that make idle hardware threads report "less than
+//!   60 000 cycle/s".
+//! * [`os`] — the Linux-side interfaces the paper drives: the `userspace`
+//!   cpufreq governor, sysfs C-state disabling, hotplug.
+//! * [`system`] — the façade tying it all together.
+
+pub mod ccx;
+pub mod config;
+pub mod controller;
+pub mod cstate;
+pub mod methodology;
+pub mod os;
+pub mod perf;
+pub mod power;
+pub mod smu;
+pub mod system;
+pub mod trace;
+pub mod time;
+pub mod wakeup;
+
+#[cfg(test)]
+mod proptests;
+
+pub use config::SimConfig;
+pub use system::System;
+pub use time::{Duration, Instant, Ns};

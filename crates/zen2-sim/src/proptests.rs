@@ -1,0 +1,102 @@
+//! Property-based tests of the simulator's control machinery.
+
+use crate::ccx;
+use crate::config::{SimConfig, SmuParams};
+use crate::controller::PptController;
+use crate::smu::Smu;
+use crate::time::MILLISECOND;
+use proptest::prelude::*;
+
+fn vf_points() -> Vec<(u32, f64)> {
+    vec![(1500, 0.85), (2200, 0.95), (2500, 1.00)]
+}
+
+fn arb_freq() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![1500u32, 2200, 2500])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Whatever request sequence arrives, the SMU eventually applies the
+    /// *last* request and leaves nothing pending.
+    #[test]
+    fn smu_converges_to_last_request(
+        requests in prop::collection::vec((arb_freq(), 0u64..3_000_000), 1..20)
+    ) {
+        let mut smu = Smu::new(SmuParams::default(), 1, 2500, vf_points());
+        let mut now = 0u64;
+        let mut last = 2500;
+        for (freq, gap) in requests {
+            now += gap;
+            smu.advance(now);
+            smu.request(now, 0, freq);
+            last = freq;
+        }
+        // Two slot periods plus the longest ramp always suffice per queued
+        // hop; give it generous time.
+        now += 50 * MILLISECOND;
+        smu.advance(now);
+        prop_assert_eq!(smu.core(0).applied_mhz(), last);
+        prop_assert!(smu.core(0).pending().is_none());
+    }
+
+    /// Transition delays never exceed slot + ramp, and fast-path delays
+    /// only occur within the settle window.
+    #[test]
+    fn smu_delay_bounds(offset in 0u64..1_000_000, freq in arb_freq()) {
+        let mut smu = Smu::new(SmuParams::default(), 1, 2500, vf_points());
+        // Settle fully first.
+        smu.advance(20 * MILLISECOND);
+        let t0 = 20 * MILLISECOND + offset;
+        if freq == 2500 {
+            return Ok(());
+        }
+        let p = smu.request(t0, 0, freq).expect("transition starts");
+        let delay = p.completes_at - t0;
+        prop_assert!(delay >= 390_000, "down delay {delay}");
+        prop_assert!(delay <= 1_390_000, "down delay {delay}");
+        prop_assert!(!p.fast_path, "no latched state after settling");
+    }
+
+    /// The CCX divider never raises a core above its request and never
+    /// drops it below half the request.
+    #[test]
+    fn ccx_divider_bounds(requests in prop::collection::vec(800u32..3_000, 4),
+                          active in prop::collection::vec(any::<bool>(), 4)) {
+        let clocks = ccx::resolve(&requests, &active, true);
+        for (i, &req) in requests.iter().enumerate() {
+            let eff = clocks.effective_mhz[i];
+            prop_assert!(eff <= req as f64 + 1e-9, "core {i}: {eff} > {req}");
+            prop_assert!(eff >= req as f64 * 0.5, "core {i}: {eff} far below {req}");
+        }
+        // The mesh is at least as fast as every active core's effective
+        // frequency.
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                prop_assert!(clocks.mesh_mhz as f64 >= clocks.effective_mhz[i] - 1e-9);
+            }
+        }
+    }
+
+    /// The PPT controller never leaves its [min, max] range and always
+    /// converges for any monotone power curve.
+    #[test]
+    fn controller_stays_in_range(w_per_mhz in 0.01f64..0.2, target in 100.0f64..250.0) {
+        let cfg = SimConfig::epyc_7502_2s();
+        let mut c = PptController::new(&cfg.controller, 2500, 1500);
+        for _ in 0..500 {
+            let est = c.cap_mhz() as f64 * w_per_mhz;
+            c.step(est, target, c.cap_mhz());
+            prop_assert!((1500..=2500).contains(&c.cap_mhz()));
+        }
+        // At the fixed point the estimate is within one step of the target
+        // band, unless pinned at a range end.
+        let est = c.cap_mhz() as f64 * w_per_mhz;
+        let step_w = 25.0 * w_per_mhz;
+        if c.cap_mhz() > 1500 && c.cap_mhz() < 2500 {
+            prop_assert!(est <= target + step_w + 1e-9);
+            prop_assert!(est >= target - cfg.controller.deadband_w - step_w - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Simulation time: integer nanoseconds from boot.
+
+/// Nanoseconds since simulation start.
+pub type Ns = u64;
+
+/// A point in simulated time.
+pub type Instant = Ns;
+
+/// A span of simulated time.
+pub type Duration = Ns;
+
+/// One microsecond in [`Ns`].
+pub const MICROSECOND: Ns = 1_000;
+/// One millisecond in [`Ns`].
+pub const MILLISECOND: Ns = 1_000_000;
+/// One second in [`Ns`].
+pub const SECOND: Ns = 1_000_000_000;
+
+/// Converts a span to floating-point seconds.
+#[inline]
+pub fn to_secs(ns: Ns) -> f64 {
+    ns as f64 / SECOND as f64
+}
+
+/// Converts floating-point seconds to a span (rounding down).
+///
+/// # Panics
+/// Panics on negative or non-finite input.
+#[inline]
+pub fn from_secs(s: f64) -> Ns {
+    assert!(s.is_finite() && s >= 0.0, "durations must be non-negative, got {s}");
+    (s * SECOND as f64) as Ns
+}
+
+/// The greatest multiple of `period` that is `<= t`.
+#[inline]
+pub fn floor_to(t: Ns, period: Ns) -> Ns {
+    assert!(period > 0, "period must be positive");
+    t - t % period
+}
+
+/// The smallest multiple of `period` that is `> t` (the next boundary a
+/// periodic process fires at, given it already fired at or before `t`).
+#[inline]
+pub fn next_boundary(t: Ns, period: Ns) -> Ns {
+    floor_to(t, period) + period
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(from_secs(1.5), 1_500_000_000);
+        assert!((to_secs(2_500_000) - 0.0025).abs() < 1e-15);
+        assert_eq!(from_secs(to_secs(123_456_789)), 123_456_789);
+    }
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(floor_to(1_234_567, MILLISECOND), 1_000_000);
+        assert_eq!(next_boundary(1_234_567, MILLISECOND), 2_000_000);
+        assert_eq!(next_boundary(2_000_000, MILLISECOND), 3_000_000);
+        assert_eq!(next_boundary(0, MILLISECOND), MILLISECOND);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = from_secs(-1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! C-state wakeup latency (Section VI-C, Fig. 8).
+//!
+//! The measured transition time from a `pthread_cond_signal` to the callee
+//! running again decomposes into a frequency-dependent part (IPI delivery
+//! and pipeline restart, in callee-core cycles) and, for C2, a fixed
+//! power-ungate time. Remote (cross-socket) wakeups add ~1 µs. The
+//! measurement itself occasionally perturbs a sample — the outliers
+//! visible in the paper's box plots.
+
+use crate::config::CstateParams;
+use crate::cstate::ThreadState;
+use rand::Rng;
+
+/// The deterministic part of a wakeup latency in nanoseconds.
+///
+/// # Panics
+/// Panics when asked for the wakeup latency of a thread that is not
+/// sleeping (Active/Offline).
+pub fn base_latency_ns(
+    params: &CstateParams,
+    state: ThreadState,
+    callee_ghz: f64,
+    remote: bool,
+) -> f64 {
+    assert!(callee_ghz > 0.0, "callee frequency must be positive");
+    let core = match state {
+        ThreadState::C1 => params.c1_exit_cycles / callee_ghz,
+        ThreadState::C2 => params.c2_ungate_ns as f64 + params.c2_exit_cycles / callee_ghz,
+        other => panic!("{other:?} has no wakeup latency"),
+    };
+    core + if remote { params.remote_extra_ns as f64 } else { 0.0 }
+}
+
+/// One measured sample: the deterministic latency plus occasional
+/// measurement-induced outliers.
+pub fn sample_latency_ns<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &CstateParams,
+    state: ThreadState,
+    callee_ghz: f64,
+    remote: bool,
+) -> f64 {
+    let base = base_latency_ns(params, state, callee_ghz, remote);
+    // Sub-cycle alignment jitter of the IPI.
+    let jitter = rng.gen_range(0.0..0.05) * base;
+    let outlier = if rng.gen_bool(params.outlier_probability) {
+        // Exponentially distributed perturbation from the measurement
+        // running on the same resources.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -params.outlier_scale_ns * u.ln()
+    } else {
+        0.0
+    };
+    base + jitter + outlier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params() -> CstateParams {
+        CstateParams::default()
+    }
+
+    #[test]
+    fn c1_latencies_match_fig8a() {
+        // ~1 us at 2.2/2.5 GHz, ~1.5 us at 1.5 GHz.
+        let p = params();
+        let at = |f| base_latency_ns(&p, ThreadState::C1, f, false) / 1000.0;
+        assert!((at(2.5) - 1.0).abs() < 0.1, "{} us", at(2.5));
+        assert!((at(2.2) - 1.14).abs() < 0.15);
+        assert!((at(1.5) - 1.67).abs() < 0.25);
+    }
+
+    #[test]
+    fn c2_latencies_match_fig8b() {
+        // Between 20 and 25 us depending on frequency — far below the
+        // 400 us the ACPI tables report.
+        let p = params();
+        for f in [1.5, 2.2, 2.5] {
+            let us = base_latency_ns(&p, ThreadState::C2, f, false) / 1000.0;
+            assert!((19.0..=26.0).contains(&us), "{us} us at {f} GHz");
+        }
+        assert!(
+            base_latency_ns(&p, ThreadState::C2, 2.5, false)
+                < p.acpi_reported_c2_ns as f64 / 10.0,
+            "measured C2 exit must be far below the ACPI-reported 400 us"
+        );
+    }
+
+    #[test]
+    fn remote_adds_about_a_microsecond() {
+        let p = params();
+        let local = base_latency_ns(&p, ThreadState::C2, 2.5, false);
+        let remote = base_latency_ns(&p, ThreadState::C2, 2.5, true);
+        assert!((remote - local - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn samples_cluster_near_base_with_rare_outliers() {
+        let p = params();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let base = base_latency_ns(&p, ThreadState::C2, 2.5, false);
+        let samples: Vec<f64> =
+            (0..400).map(|_| sample_latency_ns(&mut rng, &p, ThreadState::C2, 2.5, false)).collect();
+        let near = samples.iter().filter(|&&s| s < base * 1.06).count();
+        assert!(near > 360, "most samples near base: {near}/400");
+        assert!(samples.iter().all(|&s| s >= base));
+    }
+
+    #[test]
+    #[should_panic(expected = "no wakeup latency")]
+    fn active_thread_has_no_wakeup() {
+        let _ = base_latency_ns(&params(), ThreadState::Active, 2.5, false);
+    }
+}

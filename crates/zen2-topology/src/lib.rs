@@ -1,0 +1,37 @@
+//! SoC topology model for AMD Zen 2 "Rome" processors.
+//!
+//! Zen 2 uses a modular design on multiple levels (PPR for Family 17h Model
+//! 31h, Section 1.8.1): four cores share one *Core Complex* (CCX) with a
+//! 16 MiB L3 cache, two CCXs form a *Core Complex Die* (CCD), and up to
+//! eight CCDs attach to a central I/O die that also hosts the unified memory
+//! controllers (UMCs) and the Infinity Fabric switches. Each core runs up to
+//! two SMT hardware threads.
+//!
+//! This crate provides:
+//!
+//! * strongly-typed identifiers for every level of the hierarchy
+//!   ([`ThreadId`], [`CoreId`], [`CcxId`], [`CcdId`], [`SocketId`], ...),
+//! * a [`Topology`] describing a concrete machine, with a builder and
+//!   presets (notably [`Topology::epyc_7502_2s`], the paper's test system),
+//! * Linux-style logical CPU numbering ([`CpuNumbering`]) so experiments can
+//!   sweep "threads not in C2" in the exact order the paper used (Fig. 7),
+//! * NUMA configuration modes ("NPS" settings and the per-quadrant
+//!   interleaving the paper configured).
+//!
+//! The topology is pure data: no behavior lives here. Simulation state
+//! machines (`zen2-sim`) and performance/power models (`zen2-mem`,
+//! `zen2-power`) are indexed by these identifiers.
+
+pub mod ids;
+pub mod numa;
+pub mod numbering;
+pub mod render;
+pub mod topology;
+
+pub use ids::{CcdId, CcxId, CoreId, LogicalCpu, SocketId, ThreadId, UmcId};
+pub use numa::{NumaConfig, NumaMode};
+pub use numbering::CpuNumbering;
+pub use topology::{Topology, TopologyBuilder, TopologyError};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,181 @@
+//! Property-based tests over arbitrary valid topologies.
+
+use crate::ids::{CcxId, CoreId, LogicalCpu, ThreadId};
+use crate::numbering::{CpuNumbering, NumberingPolicy};
+use crate::topology::{consts, Topology, TopologyBuilder};
+use crate::NumaMode;
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (
+        1u32..=4,
+        prop::sample::select(vec![1u32, 2, 4, 8]),
+        any::<bool>(),
+        prop::sample::select(vec![NumaMode::Nps1, NumaMode::Nps2, NumaMode::Nps4]),
+    )
+        .prop_map(|(sockets, ccds, smt, numa)| {
+            TopologyBuilder::new()
+                .sockets(sockets)
+                .ccds_per_socket(ccds)
+                .smt(smt)
+                .numa_mode(numa)
+                .build()
+                .expect("generated shape is valid")
+        })
+}
+
+proptest! {
+    /// Counts are consistent with the structural constants at every level.
+    #[test]
+    fn counts_are_consistent(topo in arb_topology()) {
+        prop_assert_eq!(topo.num_ccxs(), topo.num_ccds() * consts::CCX_PER_CCD as usize);
+        prop_assert_eq!(topo.num_cores(), topo.num_ccxs() * consts::CORES_PER_CCX as usize);
+        prop_assert_eq!(topo.num_threads(), topo.num_cores() * topo.threads_per_core());
+        prop_assert_eq!(topo.cores_per_socket() * topo.num_sockets(), topo.num_cores());
+    }
+
+    /// Every thread maps to a core that maps back to containing the thread.
+    #[test]
+    fn thread_core_membership(topo in arb_topology()) {
+        for thread in topo.all_threads() {
+            let core = topo.core_of(thread);
+            let threads = topo.threads_of_core(core);
+            prop_assert!(threads.iter().flatten().any(|&t| t == thread));
+        }
+    }
+
+    /// The SMT sibling relation is a fix-point-free involution when SMT is on.
+    #[test]
+    fn smt_sibling_is_involution(topo in arb_topology()) {
+        for thread in topo.all_threads() {
+            match topo.smt_sibling_thread(thread) {
+                Some(sibling) => {
+                    prop_assert!(topo.smt_enabled());
+                    prop_assert_ne!(sibling, thread);
+                    prop_assert_eq!(topo.smt_sibling_thread(sibling), Some(thread));
+                    prop_assert_eq!(topo.core_of(sibling), topo.core_of(thread));
+                }
+                None => prop_assert!(!topo.smt_enabled()),
+            }
+        }
+    }
+
+    /// Each CCX contains exactly four cores and they agree on their CCX.
+    #[test]
+    fn ccx_partitioning(topo in arb_topology()) {
+        let mut total = 0usize;
+        for ccx in topo.all_ccxs() {
+            let cores: Vec<CoreId> = topo.cores_of_ccx(ccx).collect();
+            prop_assert_eq!(cores.len(), consts::CORES_PER_CCX as usize);
+            for core in cores {
+                prop_assert_eq!(topo.ccx_of_core(core), ccx);
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, topo.num_cores());
+    }
+
+    /// CCX -> CCD -> socket chains agree with the direct core -> socket map.
+    #[test]
+    fn hierarchy_chains_agree(topo in arb_topology()) {
+        for core in topo.all_cores() {
+            let via_ccx = topo.socket_of_ccx(topo.ccx_of_core(core));
+            prop_assert_eq!(via_ccx, topo.socket_of_core(core));
+            let via_ccd = topo.socket_of_ccd(topo.ccd_of_core(core));
+            prop_assert_eq!(via_ccd, topo.socket_of_core(core));
+        }
+    }
+
+    /// Logical CPU numbering is a bijection under both policies.
+    #[test]
+    fn numbering_is_bijective(topo in arb_topology(),
+                              adjacent in any::<bool>()) {
+        let policy = if adjacent {
+            NumberingPolicy::SiblingsAdjacent
+        } else {
+            NumberingPolicy::LinuxSiblingsLast
+        };
+        let numbering = CpuNumbering::new(&topo, policy);
+        let mut seen = vec![false; topo.num_threads()];
+        for cpu in numbering.cpus_in_os_order() {
+            let thread = numbering.thread_of(cpu);
+            prop_assert!(!seen[thread.index()]);
+            seen[thread.index()] = true;
+            prop_assert_eq!(numbering.cpu_of(thread), cpu);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Under the Linux policy, the first half of logical CPUs are all
+    /// primary SMT threads (the order the paper's Fig. 7 sweep relies on).
+    #[test]
+    fn linux_policy_puts_primary_threads_first(topo in arb_topology()) {
+        prop_assume!(topo.smt_enabled());
+        let numbering = CpuNumbering::linux_default(&topo);
+        for cpu in 0..topo.num_cores() as u32 {
+            let thread = numbering.thread_of(LogicalCpu(cpu));
+            prop_assert_eq!(topo.sibling_of(thread).index(), 0);
+        }
+        for cpu in topo.num_cores() as u32..topo.num_threads() as u32 {
+            let thread = numbering.thread_of(LogicalCpu(cpu));
+            prop_assert_eq!(topo.sibling_of(thread).index(), 1);
+        }
+    }
+
+    /// Quadrant attachment respects sockets and covers each socket's CCDs.
+    #[test]
+    fn quadrants_stay_within_socket(topo in arb_topology()) {
+        for socket in topo.all_sockets() {
+            for ccd in topo.ccds_of_socket(socket) {
+                let quadrant = topo.quadrant_of_ccd(ccd);
+                prop_assert_eq!(quadrant.0 / consts::QUADRANTS_PER_SOCKET, socket.0);
+            }
+        }
+    }
+
+    /// NUMA nodes partition quadrants consistently with the chosen mode.
+    #[test]
+    fn numa_nodes_cover_quadrants(topo in arb_topology()) {
+        let numa = topo.numa();
+        for socket in topo.all_sockets() {
+            for ccd in topo.ccds_of_socket(socket) {
+                let quadrant = topo.quadrant_of_ccd(ccd);
+                let node = numa.node_of_quadrant(quadrant);
+                prop_assert_eq!(numa.socket_of_node(node), socket);
+                prop_assert!(!numa.is_cross_socket(socket, node));
+            }
+        }
+        prop_assert_eq!(
+            numa.num_nodes(),
+            topo.num_sockets() * numa.mode().nodes_per_socket() as usize
+        );
+    }
+
+    /// `ccxs_of_ccd` and `ccd_of_ccx` are mutually consistent.
+    #[test]
+    fn ccd_ccx_round_trip(topo in arb_topology()) {
+        for ccd_idx in 0..topo.num_ccds() as u32 {
+            let ccd = crate::CcdId(ccd_idx);
+            for ccx in topo.ccxs_of_ccd(ccd) {
+                prop_assert_eq!(topo.ccd_of_ccx(ccx), ccd);
+            }
+        }
+        for ccx in topo.all_ccxs() {
+            let ccd = topo.ccd_of_ccx(ccx);
+            prop_assert!(topo.ccxs_of_ccd(ccd).contains(&ccx));
+        }
+    }
+}
+
+#[test]
+fn sibling_threads_are_adjacent_ids() {
+    let topo = Topology::epyc_7502_2s();
+    for core in topo.all_cores() {
+        let [a, b] = topo.threads_of_core(core);
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(b.0, a.0 + 1);
+        assert_eq!(topo.ccx_of_core(core), topo.ccx_of_core(topo.core_of(b)));
+    }
+    let _ = CcxId(0);
+    let _ = ThreadId(0);
+}

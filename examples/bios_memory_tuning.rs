@@ -1,0 +1,60 @@
+//! The BIOS-tuning scenario from Section V-D: should an operator pin the
+//! I/O-die P-state, and is paying for DDR4-3200 worth it? The example
+//! sweeps the same knobs as Fig. 5 and prints the trade-offs, including
+//! the counter-intuitive results the paper highlights.
+//!
+//! ```sh
+//! cargo run --release --example bios_memory_tuning
+//! ```
+
+use zen2_ee::prelude::*;
+
+fn main() {
+    println!("BIOS memory tuning on the simulated EPYC 7502 (NPS4, per-CCD view)\n");
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>14}",
+        "IOD P-state", "DRAM", "1-core GB/s", "4-core GB/s", "latency [ns]"
+    );
+    for pstate in [IodPstate::P3, IodPstate::P2, IodPstate::P1, IodPstate::P0, IodPstate::Auto] {
+        for dram in [DramFreq::Mhz1467, DramFreq::Mhz1600] {
+            let mut cfg = SimConfig::epyc_7502_2s();
+            cfg.iod_pstate = pstate;
+            cfg.dram = dram;
+            let sys = System::new(cfg, 11);
+            println!(
+                "{:<12} {:<10} {:>12.1} {:>12.1} {:>14.1}",
+                pstate.to_string(),
+                dram.to_string(),
+                sys.stream_triad_gbs(1),
+                sys.stream_triad_gbs(4),
+                sys.dram_latency_ns()
+            );
+        }
+    }
+
+    println!("\nfindings (matching the paper's Section V-D):");
+    let auto = System::new(SimConfig::epyc_7502_2s(), 1);
+    let pinned = {
+        let mut cfg = SimConfig::epyc_7502_2s();
+        cfg.iod_pstate = IodPstate::P0;
+        System::new(cfg, 1)
+    };
+    let faster_dram = {
+        let mut cfg = SimConfig::epyc_7502_2s();
+        cfg.dram = DramFreq::Mhz1600;
+        System::new(cfg, 1)
+    };
+    println!(
+        "  * pinning P-state 0 looks safe but costs {:.1} ns of latency vs auto ({:.1} vs {:.1})",
+        pinned.dram_latency_ns() - auto.dram_latency_ns(),
+        pinned.dram_latency_ns(),
+        auto.dram_latency_ns()
+    );
+    println!(
+        "  * DDR4-3200 raises saturated bandwidth only {:.1} GB/s and *worsens* latency by {:.1} ns",
+        faster_dram.stream_triad_gbs(4) - auto.stream_triad_gbs(4),
+        faster_dram.dram_latency_ns() - auto.dram_latency_ns()
+    );
+    println!("    (FCLK tops out at 1467 MHz, so the faster DIMMs run asynchronously)");
+    println!("  * 'auto' is the right default: coupled clocks beat every pinned setting here");
+}

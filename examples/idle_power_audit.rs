@@ -1,0 +1,61 @@
+//! The datacenter idle-power audit from Section VI: how C-state
+//! management decisions change the power bill of an idle node, including
+//! the two Rome-specific traps the paper warns about.
+//!
+//! ```sh
+//! cargo run --release --example idle_power_audit
+//! ```
+
+use zen2_ee::prelude::*;
+
+fn measure(sys: &mut System, label: &str) -> f64 {
+    sys.run_for_secs(0.1);
+    let t0 = sys.now_ns();
+    sys.run_for_secs(0.5);
+    let w = sys.trace_mean_w(t0, sys.now_ns());
+    println!("  {label:<52} {w:7.1} W");
+    w
+}
+
+fn main() {
+    println!("idle-power audit of the simulated 2x EPYC 7502 node\n");
+
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 7);
+    let floor = measure(&mut sys, "all 128 threads idle in C2 (package C6 reached)");
+
+    // Trap 1: disabling deep C-states "for latency".
+    let numbering = sys.numbering().clone();
+    for cpu in 0..128u32 {
+        sys.set_cstate_enabled(numbering.thread_of(LogicalCpu(cpu)), 2, false);
+    }
+    let all_c1 = measure(&mut sys, "C2 disabled everywhere (all threads in C1)");
+    for cpu in 0..128u32 {
+        sys.set_cstate_enabled(numbering.thread_of(LogicalCpu(cpu)), 2, true);
+    }
+    println!("    -> cost of shallow idle: {:+.1} W, dominated by the lost package C6\n", all_c1 - floor);
+
+    // Trap 2: a single busy housekeeping thread on an otherwise idle node.
+    sys.set_workload(ThreadId(0), KernelClass::Poll, OperandWeight::HALF);
+    let one_poll = measure(&mut sys, "one POLL loop (cpuidle states disabled on one cpu)");
+    sys.set_idle(ThreadId(0));
+    println!("    -> one non-idle thread costs {:+.1} W on this machine\n", one_poll - floor);
+
+    // Trap 3 (Section VI-B): offlining sibling threads to "help" idle
+    // power actually destroys it until they are re-onlined.
+    for cpu in 64..128u32 {
+        sys.set_online(numbering.thread_of(LogicalCpu(cpu)), false);
+    }
+    let offline = measure(&mut sys, "second hardware threads offlined via sysfs");
+    for cpu in 64..128u32 {
+        sys.set_online(numbering.thread_of(LogicalCpu(cpu)), true);
+    }
+    let fixed = measure(&mut sys, "after explicitly re-onlining them");
+    println!(
+        "    -> the paper \"strongly discourages\" offlining threads on Rome: {:+.1} W\n       while offline, fixed only by re-onlining ({:+.1} W residual)\n",
+        offline - floor,
+        fixed - floor
+    );
+
+    println!("summary: deepest C-states everywhere are worth {:.0} W (~{:.0} %) on this node",
+        all_c1 - floor, (all_c1 - floor) / all_c1 * 100.0);
+}

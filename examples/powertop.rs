@@ -1,0 +1,96 @@
+//! A powertop/lo2s-style monitor: runs a scripted scenario while sampling
+//! the machine once per interval, then dumps the event timeline the
+//! tracer recorded — the observability workflow the paper's group builds
+//! its studies on.
+//!
+//! ```sh
+//! cargo run --release --example powertop
+//! ```
+
+use zen2_ee::prelude::*;
+use zen2_ee::sim::perf::ThreadCounters;
+
+fn sample_row(sys: &mut System, label: &str, before: &ThreadCounters) -> ThreadCounters {
+    let after = sys.counters(ThreadId(0));
+    let b = sys.power_breakdown();
+    println!(
+        "{:>6.2}s {:<26} {:>7.1} W wall {:>7.1} W rapl {:>6.3} GHz {:>6.1} C  {}",
+        sys.now_ns() as f64 / 1e9,
+        label,
+        b.ac_w,
+        b.pkg_est_w.iter().sum::<f64>(),
+        ThreadCounters::effective_ghz(before, &after, 2.5),
+        sys.die_temp_c(SocketId(0)),
+        if sys.package_awake(SocketId(0)) { "awake" } else { "PC6" },
+    );
+    after
+}
+
+fn main() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 0x70_70);
+    sys.set_tracing(true);
+    println!("{:>7} {:<26} {:>12} {:>12} {:>10} {:>8}", "t", "phase", "wall", "rapl(sum)", "core0", "die");
+
+    let mut prev = sys.counters(ThreadId(0));
+
+    // Phase 1: idle.
+    sys.run_for_secs(0.25);
+    prev = sample_row(&mut sys, "idle (all C2)", &prev);
+
+    // Phase 2: a single compute job at minimum frequency.
+    sys.set_thread_pstate_mhz(ThreadId(0), 1500);
+    sys.set_thread_pstate_mhz(ThreadId(1), 1500);
+    sys.set_workload(ThreadId(0), KernelClass::Compute, OperandWeight::HALF);
+    sys.run_for_secs(0.25);
+    prev = sample_row(&mut sys, "1 thread compute @1.5GHz", &prev);
+
+    // Phase 3: raise the frequency mid-flight.
+    sys.set_thread_pstate_mhz(ThreadId(0), 2500);
+    sys.set_thread_pstate_mhz(ThreadId(1), 2500);
+    sys.run_for_secs(0.25);
+    prev = sample_row(&mut sys, "1 thread compute @2.5GHz", &prev);
+
+    // Phase 4: fill the machine with FIRESTARTER and watch the throttle.
+    for t in 1..128u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sys.set_workload(ThreadId(0), KernelClass::Firestarter, OperandWeight::HALF);
+    sys.run_for_secs(0.4);
+    prev = sample_row(&mut sys, "FIRESTARTER x128 (throttled)", &prev);
+
+    // Phase 5: back to idle.
+    for t in 0..128u32 {
+        sys.set_idle(ThreadId(t));
+    }
+    sys.run_for_secs(0.25);
+    let _ = sample_row(&mut sys, "idle again", &prev);
+
+    // The recorded machine-event timeline (condensed).
+    let tracer = sys.tracer();
+    let records = tracer.records();
+    println!("\nevent timeline: {} records; first/last 6:", records.len());
+    for r in records.iter().take(6) {
+        println!("  {:>12} ns  {:?}", r.at_ns, r.event);
+    }
+    println!("  ...");
+    for r in records.iter().rev().take(6).collect::<Vec<_>>().into_iter().rev() {
+        println!("  {:>12} ns  {:?}", r.at_ns, r.event);
+    }
+
+    // Frequency timeline of core 0 across the scenario.
+    let timeline = tracer.frequency_timeline(CoreId(0));
+    println!("\ncore 0 applied-frequency timeline ({} transitions):", timeline.len());
+    for (t, mhz) in timeline.iter().take(12) {
+        println!("  {:>9.4} s -> {} MHz", *t as f64 / 1e9, mhz);
+    }
+    if timeline.len() > 12 {
+        println!("  ... ({} more)", timeline.len() - 12);
+    }
+
+    // Package-sleep accounting over the whole run.
+    let asleep = tracer.asleep_ns(SocketId(0), 0, sys.now_ns());
+    println!(
+        "\nsocket 0 spent {:.0} % of the scenario in PC6",
+        asleep as f64 / sys.now_ns() as f64 * 100.0
+    );
+}

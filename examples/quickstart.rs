@@ -1,0 +1,64 @@
+//! Quickstart: boot the paper's test system, watch the idle floor, wake a
+//! core, run a workload, and read both the wall meter and RAPL.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use zen2_ee::prelude::*;
+
+fn main() {
+    // The paper's machine: 2x AMD EPYC 7502 (64 cores / 128 threads),
+    // SMT on, NPS4, DDR4-2933, I/O-die P-state "auto".
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 0xC0FFEE);
+    println!("machine: {}", sys.config().topology.describe());
+    // The hwloc view (first CCD only, for brevity):
+    let tree = zen2_ee::topology::render::lstopo(&sys.config().topology);
+    for line in tree.lines().take(10) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    // 1. Idle: all threads in C2, both packages in deep sleep (PC6).
+    sys.run_for_secs(0.5);
+    println!("idle, all C2:            {:6.1} W AC   (paper: 99.1 W)", sys.ac_power_w());
+
+    // 2. A single thread leaving the deepest C-state wakes *both*
+    //    packages — the disproportionate first step of Fig. 7.
+    sys.set_cstate_enabled(ThreadId(0), 2, false); // thread 0 now idles in C1
+    sys.run_for_secs(0.1);
+    println!("one thread in C1:        {:6.1} W AC   (paper: 180.3 W)", sys.ac_power_w());
+    sys.set_cstate_enabled(ThreadId(0), 2, true);
+
+    // 3. Schedule a busy loop at the minimum frequency and observe the
+    //    effective frequency through APERF/MPERF, like `perf stat` does.
+    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+    sys.set_thread_pstate_mhz(ThreadId(0), 1500);
+    sys.set_thread_pstate_mhz(ThreadId(1), 1500);
+    sys.run_for_secs(0.1);
+    println!(
+        "busy loop @1.5 GHz:      {:6.3} GHz effective",
+        sys.effective_core_ghz(CoreId(0))
+    );
+
+    // 4. Fill the whole machine with FIRESTARTER: the SMU's telemetry
+    //    loop throttles below nominal (Fig. 6) while RAPL reads ~170 W.
+    for t in 0..128u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+        sys.set_thread_pstate_mhz(ThreadId(t), 2500);
+    }
+    sys.run_for_secs(0.3);
+    sys.preheat(); // the paper's 15-minute warm-up, fast-forwarded
+    let t0 = sys.now_ns();
+    let (rapl_pkg_sum, rapl_core_sum) = sys.measure_rapl_w(1.0);
+    let wall = sys.trace_mean_w(t0, sys.now_ns());
+    println!("FIRESTARTER, all threads:");
+    println!("  effective frequency    {:6.3} GHz  (paper: 2.03 GHz)", sys.effective_core_ghz(CoreId(0)));
+    println!("  wall power             {wall:6.1} W    (paper: 509 W)");
+    println!("  RAPL package (socket)  {:6.1} W    (paper: 170 W)", rapl_pkg_sum / 2.0);
+    println!("  RAPL core sum          {rapl_core_sum:6.1} W");
+    println!(
+        "  die temperature        {:6.1} C",
+        sys.die_temp_c(SocketId(0))
+    );
+}

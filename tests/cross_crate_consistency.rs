@@ -1,0 +1,127 @@
+//! Consistency checks that span crates: the same physical quantity read
+//! through different interfaces (MSRs, perf counters, meter trace, RAPL
+//! reader) must agree.
+
+use zen2_ee::msr::address;
+use zen2_ee::prelude::*;
+use zen2_ee::rapl::RaplReader;
+use zen2_ee::sim::perf::ThreadCounters;
+
+fn loaded_system(seed: u64) -> System {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+    for t in 0..64u32 {
+        sys.set_workload(ThreadId(t), KernelClass::AddPd, OperandWeight::HALF);
+    }
+    sys.run_for_secs(0.05);
+    sys
+}
+
+#[test]
+fn perf_counters_and_msr_file_tell_the_same_frequency_story() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 2001);
+    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+    sys.set_thread_pstate_mhz(ThreadId(0), 2200);
+    sys.set_thread_pstate_mhz(ThreadId(1), 2200);
+    sys.run_for_secs(0.01);
+    let before = sys.counters(ThreadId(0));
+    sys.run_for_secs(0.5);
+    let after = sys.counters(ThreadId(0));
+    let via_perf = ThreadCounters::effective_ghz(&before, &after, 2.5);
+    let via_sim = sys.effective_core_ghz(CoreId(0));
+    assert!((via_perf - via_sim).abs() < 0.02, "perf {via_perf} vs sim {via_sim}");
+    // The P-state control MSR carries the request the governor wrote.
+    let ctl = sys.msrs().read(ThreadId(0), address::PSTATE_CTL).unwrap();
+    assert_eq!(ctl, 1, "2.2 GHz is P-state index 1");
+}
+
+#[test]
+fn rapl_reader_agrees_with_internal_accounting() {
+    let mut sys = loaded_system(2002);
+    sys.sync_rapl_msrs();
+    let topo = sys.config().topology.clone();
+    let mut reader = RaplReader::new(&topo, sys.msrs()).unwrap();
+    sys.run_for_secs(1.0);
+    sys.sync_rapl_msrs();
+    reader.poll(sys.msrs()).unwrap();
+    // The reader (wrap-aware, quantized) and the breakdown (exact) agree
+    // on mean package power within quantization error.
+    let via_reader = reader.package_sum_joules() / 1.0;
+    let est_now: f64 = sys.power_breakdown().pkg_est_w.iter().sum();
+    assert!(
+        (via_reader - est_now).abs() / est_now < 0.02,
+        "reader {via_reader:.1} W vs breakdown {est_now:.1} W"
+    );
+}
+
+#[test]
+fn meter_samples_track_the_true_trace_within_instrument_noise() {
+    let mut sys = loaded_system(2003);
+    let t0 = sys.now_ns();
+    sys.run_for_secs(1.0);
+    let t1 = sys.now_ns();
+    let truth = sys.trace_mean_w(t0, t1);
+    let samples = sys.meter_samples(t0, t1);
+    assert_eq!(samples.len(), 20, "20 Sa/s for one second");
+    let measured: f64 = samples.iter().map(|s| s.watts).sum::<f64>() / samples.len() as f64;
+    assert!((measured - truth).abs() < 0.5, "meter {measured:.2} vs truth {truth:.2}");
+}
+
+#[test]
+fn ac_energy_is_the_integral_of_the_trace() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 2004);
+    sys.run_for_secs(0.3);
+    for t in 0..32u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Compute, OperandWeight::HALF);
+    }
+    sys.run_for_secs(0.3);
+    let integral = sys.trace_mean_w(0, sys.now_ns()) * 0.6;
+    assert!(
+        (sys.ac_energy_j() - integral).abs() < 0.01 * integral,
+        "energy {:.1} J vs trace integral {:.1} J",
+        sys.ac_energy_j(),
+        integral
+    );
+}
+
+#[test]
+fn tsc_is_invariant_while_aperf_halts_in_idle() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 2005);
+    let before = sys.counters(ThreadId(7));
+    sys.run_for_secs(1.0);
+    let after = sys.counters(ThreadId(7));
+    // TSC runs at the nominal 2.5 GHz regardless of the idle state.
+    assert!((after.tsc - before.tsc - 2.5e9).abs() < 1.0);
+    // APERF sees only the timer-tick blips.
+    assert!(after.aperf - before.aperf < 60_000.0);
+}
+
+#[test]
+fn intel_tooling_faults_on_this_machine() {
+    // Reading Intel's package-energy MSR must #GP, as it does on Rome.
+    let sys = System::new(SimConfig::epyc_7502_2s(), 2006);
+    let err = sys.msrs().read(ThreadId(0), address::INTEL_PKG_ENERGY_STATUS).unwrap_err();
+    assert!(matches!(err, zen2_ee::msr::MsrError::GeneralProtectionFault { .. }));
+}
+
+#[test]
+fn smt_sibling_shares_the_core_energy_domain() {
+    let mut sys = loaded_system(2007);
+    sys.run_for_secs(0.2);
+    sys.sync_rapl_msrs();
+    let a = sys.msrs().read(ThreadId(0), address::CORE_ENERGY_STAT).unwrap();
+    let b = sys.msrs().read(ThreadId(1), address::CORE_ENERGY_STAT).unwrap();
+    assert_eq!(a, b, "both siblings expose the same per-core counter");
+    assert!(a > 0);
+}
+
+#[test]
+fn package_sleep_state_is_consistent_across_interfaces() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 2008);
+    sys.run_for_secs(0.1);
+    assert!(!sys.package_awake(SocketId(0)));
+    assert!((sys.ac_power_w() - 99.1).abs() < 1.5);
+    sys.set_workload(ThreadId(127), KernelClass::Pause, OperandWeight::HALF);
+    assert!(sys.package_awake(SocketId(0)), "a socket-1 thread wakes socket 0 too");
+    assert!(sys.package_awake(SocketId(1)));
+    assert!(sys.ac_power_w() > 170.0);
+}

@@ -1,0 +1,160 @@
+//! Property-based invariants over randomized machine schedules: whatever
+//! workloads, C-state configurations and frequency requests are applied,
+//! physical invariants must hold.
+
+use proptest::prelude::*;
+use zen2_ee::prelude::*;
+
+/// A random thread action.
+#[derive(Debug, Clone)]
+enum Action {
+    Work(u32, KernelClass, f64),
+    Idle(u32),
+    DisableC2(u32),
+    EnableC2(u32),
+    Offline(u32),
+    Online(u32),
+    SetFreq(u32, u32),
+    Run(u64),
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let thread = 0u32..128;
+    let kernel = prop::sample::select(vec![
+        KernelClass::Pause,
+        KernelClass::BusyWait,
+        KernelClass::Compute,
+        KernelClass::AddPd,
+        KernelClass::MemoryRead,
+        KernelClass::Firestarter,
+        KernelClass::VXorps,
+    ]);
+    let freq = prop::sample::select(vec![1500u32, 2200, 2500]);
+    prop_oneof![
+        (thread.clone(), kernel, 0.0..=1.0).prop_map(|(t, k, w)| Action::Work(t, k, w)),
+        thread.clone().prop_map(Action::Idle),
+        thread.clone().prop_map(Action::DisableC2),
+        thread.clone().prop_map(Action::EnableC2),
+        thread.clone().prop_map(Action::Offline),
+        thread.clone().prop_map(Action::Online),
+        (thread, freq).prop_map(|(t, f)| Action::SetFreq(t, f)),
+        (100_000u64..20_000_000).prop_map(Action::Run),
+    ]
+}
+
+fn apply(sys: &mut System, action: &Action) {
+    match *action {
+        Action::Work(t, k, w) => {
+            if sys.thread_state(ThreadId(t)) != zen2_ee::sim::cstate::ThreadState::Offline {
+                sys.set_workload(ThreadId(t), k, OperandWeight(w));
+            }
+        }
+        Action::Idle(t) => sys.set_idle(ThreadId(t)),
+        Action::DisableC2(t) => sys.set_cstate_enabled(ThreadId(t), 2, false),
+        Action::EnableC2(t) => sys.set_cstate_enabled(ThreadId(t), 2, true),
+        Action::Offline(t) => sys.set_online(ThreadId(t), false),
+        Action::Online(t) => sys.set_online(ThreadId(t), true),
+        Action::SetFreq(t, f) => {
+            let _ = sys.set_thread_pstate_mhz(ThreadId(t), f);
+        }
+        Action::Run(ns) => sys.run_for_ns(ns),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// AC power stays within the physical envelope of this machine for
+    /// every reachable state, and energy only ever increases.
+    #[test]
+    fn power_stays_physical(actions in prop::collection::vec(arb_action(), 1..30),
+                            seed in 0u64..1000) {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+        let mut last_energy = 0.0;
+        for a in &actions {
+            apply(&mut sys, a);
+            let w = sys.ac_power_w();
+            prop_assert!(w >= 95.0, "below the idle floor: {w}");
+            prop_assert!(w <= 700.0, "beyond the PSU envelope: {w}");
+            prop_assert!(sys.ac_energy_j() >= last_energy - 1e-9);
+            last_energy = sys.ac_energy_j();
+        }
+    }
+
+    /// Packages sleep iff every thread allows it — through any sequence of
+    /// schedule/hotplug/C-state actions.
+    #[test]
+    fn package_sleep_criterion_holds(actions in prop::collection::vec(arb_action(), 1..30),
+                                     seed in 0u64..1000) {
+        use zen2_ee::sim::cstate::ThreadState;
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+        for a in &actions {
+            apply(&mut sys, a);
+            let all_deep = (0..128u32).all(|t| {
+                matches!(sys.thread_state(ThreadId(t)), ThreadState::C2)
+            });
+            let asleep = !sys.package_awake(SocketId(0));
+            prop_assert_eq!(asleep, all_deep,
+                "asleep={} but all_deep={}", asleep, all_deep);
+            // Both sockets always agree (global criterion).
+            prop_assert_eq!(sys.package_awake(SocketId(0)), sys.package_awake(SocketId(1)));
+        }
+    }
+
+    /// Effective core frequencies never exceed the nominal cap and never
+    /// fall below the divider floor of the lowest P-state.
+    #[test]
+    fn frequencies_stay_in_range(actions in prop::collection::vec(arb_action(), 1..30),
+                                 seed in 0u64..1000) {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+        for a in &actions {
+            apply(&mut sys, a);
+            for c in 0..64u32 {
+                let f = sys.effective_core_ghz(CoreId(c));
+                prop_assert!(f <= 2.5 + 1e-9, "core {c} at {f} GHz");
+                // The divider can pull a 1.5 GHz request at most one step
+                // below the request.
+                prop_assert!(f >= 1.3, "core {c} at {f} GHz");
+            }
+        }
+    }
+
+    /// Performance counters are monotone and TSC advances exactly with
+    /// wall time.
+    #[test]
+    fn counters_are_monotone(actions in prop::collection::vec(arb_action(), 1..20),
+                             seed in 0u64..1000) {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+        let mut last = (0..128u32).map(|t| sys.counters(ThreadId(t))).collect::<Vec<_>>();
+        let mut last_now = sys.now_ns();
+        for a in &actions {
+            apply(&mut sys, a);
+            let dt_s = (sys.now_ns() - last_now) as f64 / 1e9;
+            for t in 0..128u32 {
+                let c = sys.counters(ThreadId(t));
+                let p = &last[t as usize];
+                prop_assert!(c.tsc >= p.tsc && c.aperf >= p.aperf && c.mperf >= p.mperf
+                    && c.instructions >= p.instructions && c.cycles >= p.cycles);
+                // The invariant TSC tracks wall time at the nominal rate.
+                prop_assert!((c.tsc - p.tsc - 2.5e9 * dt_s).abs() < 2.0,
+                    "thread {} TSC drifted", t);
+                last[t as usize] = c;
+            }
+            last_now = sys.now_ns();
+        }
+    }
+
+    /// The RAPL estimate never exceeds what the wall sees: the model has
+    /// no DRAM, PSU or platform terms.
+    #[test]
+    fn rapl_is_always_below_the_wall(actions in prop::collection::vec(arb_action(), 1..20),
+                                     seed in 0u64..1000) {
+        let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+        for a in &actions {
+            apply(&mut sys, a);
+            let est: f64 = sys.power_breakdown().pkg_est_w.iter().sum();
+            let wall = sys.ac_power_w();
+            prop_assert!(est < wall, "estimate {est:.1} W above wall {wall:.1} W");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration tests of the lo2s-style event tracer against real machine
+//! scenarios.
+
+use zen2_ee::prelude::*;
+use zen2_ee::sim::trace::Event;
+
+#[test]
+fn throttle_descent_is_visible_in_the_trace() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 3001);
+    sys.set_tracing(true);
+    for t in 0..128u32 {
+        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sys.run_for_secs(0.1);
+    // The controller must have stepped the cap down repeatedly...
+    let cap_changes: Vec<u32> = sys
+        .tracer()
+        .records()
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::CapChanged { socket, cap_mhz } if socket == SocketId(0) => Some(cap_mhz),
+            _ => None,
+        })
+        .collect();
+    assert!(cap_changes.len() >= 15, "cap changes: {}", cap_changes.len());
+    // ...in 25 MHz steps (mostly downward; brief upward corrections while
+    // the lagging DVFS transitions catch up are part of the anti-windup).
+    for w in cap_changes.windows(2) {
+        assert_eq!(w[0].abs_diff(w[1]), 25, "steps must be 25 MHz");
+    }
+    let down_steps = cap_changes.windows(2).filter(|w| w[1] < w[0]).count();
+    assert!(down_steps * 3 >= cap_changes.len() * 2, "descent dominates");
+    assert!((2000..=2100).contains(cap_changes.last().unwrap()));
+    // And the core's applied-frequency timeline follows the caps.
+    let timeline = sys.tracer().frequency_timeline(CoreId(0));
+    assert!(timeline.len() >= 15);
+    assert_eq!(timeline.last().unwrap().1, *cap_changes.last().unwrap());
+}
+
+#[test]
+fn fast_path_transitions_are_flagged() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 3002);
+    sys.set_tracing(true);
+    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+    sys.run_for_secs(0.02);
+    // 2.5 -> 2.2 -> (quickly) 2.5: the return takes the fast path.
+    sys.set_thread_pstate_mhz(ThreadId(1), 2200);
+    sys.set_thread_pstate_mhz(ThreadId(0), 2200);
+    sys.run_for_secs(0.002);
+    sys.set_thread_pstate_mhz(ThreadId(1), 2500);
+    sys.set_thread_pstate_mhz(ThreadId(0), 2500);
+    sys.run_for_secs(0.002);
+    let applied: Vec<(u32, bool)> = sys
+        .tracer()
+        .records()
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::FreqApplied { core, mhz, fast_path } if core == CoreId(0) => {
+                Some((mhz, fast_path))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(applied.len(), 2, "{applied:?}");
+    assert_eq!(applied[0], (2200, false));
+    assert_eq!(applied[1], (2500, true), "the return must be flagged fast-path");
+}
+
+#[test]
+fn package_sleep_time_accounting_matches_the_scenario() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 3003);
+    sys.set_tracing(true);
+    // 100 ms asleep, 100 ms awake, 100 ms asleep.
+    sys.run_for_secs(0.1);
+    sys.set_workload(ThreadId(0), KernelClass::Pause, OperandWeight::HALF);
+    sys.run_for_secs(0.1);
+    sys.set_idle(ThreadId(0));
+    sys.run_for_secs(0.1);
+    let asleep = sys.tracer().asleep_ns(SocketId(0), 0, sys.now_ns());
+    let frac = asleep as f64 / sys.now_ns() as f64;
+    assert!((frac - 2.0 / 3.0).abs() < 0.02, "asleep fraction {frac:.3}");
+}
+
+#[test]
+fn tracing_off_by_default_and_cheap() {
+    let mut sys = System::new(SimConfig::epyc_7502_2s(), 3004);
+    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+    sys.run_for_secs(0.05);
+    assert!(sys.tracer().records().is_empty(), "no records unless enabled");
+}
