@@ -1,0 +1,207 @@
+//! Offline mini-criterion: wall-clock benchmarking with the API subset
+//! this workspace uses (`bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros).
+//! Results are printed as a text report; nothing is written to disk.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched setup values are grouped; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed iteration.
+    PerIteration,
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up and calibration: find an iteration count whose batch
+        // runtime is long enough to time reliably.
+        let mut iters: u64 = 1;
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_nanos(1);
+        while Instant::now() < warm_until {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            let batch_target = (self.measurement_time / self.sample_size as u32).max(
+                Duration::from_micros(50),
+            );
+            if bencher.elapsed < batch_target {
+                iters = iters.saturating_mul(2);
+            } else {
+                break;
+            }
+        }
+        // Timed samples.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let (min, max) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+        println!(
+            "{id:<48} time: [{} {} {}]  ({} samples x {} iters)",
+            format_ns(min),
+            format_ns(median),
+            format_ns(max),
+            self.sample_size,
+            iters,
+        );
+        let _ = per_iter;
+        self
+    }
+
+    /// Opens a named group; group benchmarks are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement context.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` / `cargo bench` pass harness flags; a plain
+            // `--test` invocation must not run the full measurement.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,22 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::fmt::Debug;
+
+/// Strategy choosing uniformly from a fixed set of values.
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone + Debug>(Vec<T>);
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.below(self.0.len())].clone()
+    }
+}
+
+/// Builds a uniform-choice strategy over `options`; panics if empty.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select of empty set");
+    Select(options)
+}

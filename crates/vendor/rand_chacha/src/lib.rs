@@ -1,0 +1,4 @@
+//! Offline shim for `rand_chacha`: re-exports the ChaCha generators
+//! implemented in the vendored `rand` shim.
+
+pub use rand::chacha::{ChaCha12Rng, ChaCha20Rng, ChaCha8Rng};

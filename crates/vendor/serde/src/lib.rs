@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: no-op derive macros plus universally
+//! implemented marker traits, so both `#[derive(Serialize)]` and
+//! `T: Serialize` bounds compile without a real serialization framework.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type qualifies.
+pub trait SerializeMarker {}
+impl<T: ?Sized> SerializeMarker for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type qualifies.
+pub trait DeserializeMarker {}
+impl<T: ?Sized> DeserializeMarker for T {}

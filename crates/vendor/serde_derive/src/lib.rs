@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives expand to nothing.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs for
+//! forward compatibility, but nothing consumes the trait impls (there is
+//! no serializer in the tree), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,89 @@
+//! Batch-execution throughput: `Session` worker pools (with and without
+//! boot-prototype reuse) against serial `System::run_scenario` loops over
+//! the same case set, in cases/second terms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, System, Window};
+use zen2_topology::ThreadId;
+
+/// A representative sweep case: wake a few cores, settle, measure AC.
+fn sweep_scenario(threads: u32) -> Scenario {
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for t in 0..threads {
+        at = at.workload(ThreadId(2 * t), KernelClass::Compute, OperandWeight::HALF);
+    }
+    sc.probe("ac", Probe::AcTrueMeanW, Window::span_secs(0.02, 0.1));
+    sc
+}
+
+fn batch(n: u64) -> Vec<Case> {
+    (0..n)
+        .map(|i| {
+            Case::new(
+                format!("case{i}"),
+                SimConfig::epyc_7502_2s(),
+                sweep_scenario(1 + (i as u32 % 8)),
+                i,
+            )
+        })
+        .collect()
+}
+
+const BATCH: u64 = 16;
+
+fn bench_serial(c: &mut Criterion) {
+    let cases = batch(BATCH);
+    c.bench_function("session_16cases_serial_loop", |b| {
+        b.iter(|| {
+            let runs: Vec<_> = cases
+                .iter()
+                .map(|case| {
+                    System::new(case.config.clone(), case.seed)
+                        .run_scenario(&case.scenario)
+                        .expect("valid scenario")
+                })
+                .collect();
+            black_box(runs)
+        })
+    });
+}
+
+fn bench_session_pool(c: &mut Criterion) {
+    let cases = batch(BATCH);
+    for workers in [1, 4, 8] {
+        let session = Session::new().workers(workers);
+        c.bench_function(&format!("session_16cases_pool_{workers}workers"), |b| {
+            b.iter(|| black_box(session.run(&cases).expect("valid scenarios")))
+        });
+    }
+}
+
+fn bench_boot_reuse(c: &mut Criterion) {
+    let cases = batch(BATCH);
+    let reuse = Session::new().workers(4);
+    let cold = Session::new().workers(4).reuse_boots(false);
+    c.bench_function("session_16cases_4workers_boot_reuse", |b| {
+        b.iter(|| black_box(reuse.run(&cases).expect("valid scenarios")))
+    });
+    c.bench_function("session_16cases_4workers_cold_boot", |b| {
+        b.iter(|| black_box(cold.run(&cases).expect("valid scenarios")))
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = session;
+    config = configured();
+    targets = bench_serial, bench_session_pool, bench_boot_reuse
+}
+criterion_main!(session);

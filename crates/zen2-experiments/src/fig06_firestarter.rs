@@ -5,6 +5,10 @@
 //! create a stable temperature. We run our tests at nominal frequency for
 //! two minutes and measure frequency and throughput with perf stat ...
 //! We exclude data for the first 5 s and last 2 s."
+//!
+//! Both SMT modes are declarative [`Scenario`]s run as one [`Session`]
+//! batch: the pre-heat, the perf-stat sampling cadence, the AC window and
+//! the trailing RAPL poll are all recorded as data.
 
 use crate::report::{compare, compare_precise, Table};
 use crate::seeds;
@@ -13,8 +17,9 @@ use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::{mean, std_dev};
 use zen2_sim::perf::ThreadCounters;
-use zen2_sim::{SimConfig, System};
-use zen2_topology::ThreadId;
+use zen2_sim::time::from_secs;
+use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
+use zen2_topology::{SocketId, ThreadId};
 
 /// Paper reference values for one SMT mode.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -89,64 +94,75 @@ pub struct Fig6Result {
     pub no_smt: ModeResult,
 }
 
-fn run_mode(cfg: &Config, seed: u64, smt: bool) -> ModeResult {
-    let mut sim_cfg = SimConfig::epyc_7502_2s();
-    if cfg.boost {
-        sim_cfg.controller.boost_max_mhz = Some(3350);
-    }
-    let mut sys = System::new(sim_cfg, seed);
+/// Measurement window start: 0.2 s settling + pre-heat + 0.1 s re-settle.
+const T_MEASURE_S: f64 = 0.3;
+
+/// Builds one SMT mode's scenario: FIRESTARTER everywhere at t = 0, the
+/// paper's 15-minute pre-heat fast-forwarded at 0.2 s, then a sampled
+/// measurement window followed by a 0.5 s RAPL poll.
+fn scenario(cfg: &Config, smt: bool) -> Scenario {
+    let mut sc = Scenario::new();
     let step = if smt { 1 } else { 2 };
+    let mut at = sc.at(0);
     for t in (0..128u32).step_by(step) {
-        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+        at = at.workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
     }
-    // 15 min pre-heat: let the controller settle, then jump the thermals.
-    sys.run_for_secs(0.2);
-    sys.preheat();
-    sys.run_for_secs(0.1);
+    sc.at_secs(0.2).preheat();
 
-    let t_start = sys.now_ns();
-    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as usize;
-    let mut freqs = Vec::with_capacity(samples);
-    let mut ipcs = Vec::with_capacity(samples);
-    let mut before0 = sys.counters(ThreadId(0));
-    let mut before1 = sys.counters(ThreadId(1));
-    for _ in 0..samples {
-        sys.run_for_secs(cfg.sample_interval_s);
-        let after0 = sys.counters(ThreadId(0));
-        let after1 = sys.counters(ThreadId(1));
-        freqs.push(ThreadCounters::effective_ghz(&before0, &after0, 2.5));
+    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as u64;
+    let t_end = T_MEASURE_S + samples as f64 * cfg.sample_interval_s;
+    let window = Window::span_secs(T_MEASURE_S, t_end);
+    let every = from_secs(cfg.sample_interval_s);
+    sc.probe("ac", Probe::AcTrueMeanW, window);
+    sc.probe("perf0", Probe::CounterSeries { thread: ThreadId(0), every }, window);
+    sc.probe("perf1", Probe::CounterSeries { thread: ThreadId(1), every }, window);
+    sc.probe("rapl", Probe::RaplW, Window::span_secs(t_end, t_end + 0.5));
+    sc.probe("pkg0", Probe::PkgTrueW(SocketId(0)), Window::at_secs(t_end + 0.5));
+    sc
+}
+
+/// Reduces one mode's [`Run`] to the paper's table entries.
+fn reduce(run: &Run, smt: bool) -> ModeResult {
+    let perf0 = run.counter_series("perf0");
+    let perf1 = run.counter_series("perf1");
+    let mut freqs = Vec::with_capacity(perf0.len() - 1);
+    let mut ipcs = Vec::with_capacity(perf0.len() - 1);
+    for k in 1..perf0.len() {
+        freqs.push(ThreadCounters::effective_ghz(&perf0[k - 1], &perf0[k], 2.5));
         // Core IPC: both threads' instructions over the core's cycles.
-        let instr = (after0.instructions - before0.instructions)
-            + if smt { after1.instructions - before1.instructions } else { 0.0 };
-        let cycles = after0.cycles - before0.cycles;
+        let instr = (perf0[k].instructions - perf0[k - 1].instructions)
+            + if smt { perf1[k].instructions - perf1[k - 1].instructions } else { 0.0 };
+        let cycles = perf0[k].cycles - perf0[k - 1].cycles;
         ipcs.push(instr / cycles);
-        before0 = after0;
-        before1 = after1;
     }
-    let t_end = sys.now_ns();
-    let ac_w = sys.trace_mean_w(t_start, t_end);
-    let (rapl_pkg_sum, _) = sys.measure_rapl_w(0.5);
-
+    let (rapl_pkg_sum, _) = run.watts_pair("rapl");
     ModeResult {
         smt,
         freq_ghz: mean(&freqs),
         freq_std_mhz: if freqs.len() > 1 { std_dev(&freqs) * 1000.0 } else { 0.0 },
         ipc: mean(&ipcs),
         ipc_std: if ipcs.len() > 1 { std_dev(&ipcs) } else { 0.0 },
-        ac_w,
+        ac_w: run.watts("ac"),
         rapl_pkg_w: rapl_pkg_sum / 2.0,
-        true_pkg_w: sys.power_breakdown().pkg_true_w[0],
+        true_pkg_w: run.watts("pkg0"),
     }
 }
 
-/// Runs both SMT modes (in parallel).
+/// Runs both SMT modes (in parallel, via a [`Session`]).
 pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
-    let (smt, no_smt) = std::thread::scope(|scope| {
-        let a = scope.spawn(|| run_mode(cfg, seeds::child(seed, 0), true));
-        let b = scope.spawn(|| run_mode(cfg, seeds::child(seed, 1), false));
-        (a.join().expect("smt worker"), b.join().expect("no-smt worker"))
-    });
-    Fig6Result { smt, no_smt }
+    let mut sim_cfg = SimConfig::epyc_7502_2s();
+    if cfg.boost {
+        sim_cfg.controller.boost_max_mhz = Some(3350);
+    }
+    let cases = vec![
+        Case::new("smt", sim_cfg.clone(), scenario(cfg, true), seeds::child(seed, 0)),
+        Case::new("no-smt", sim_cfg, scenario(cfg, false), seeds::child(seed, 1)),
+    ];
+    let runs = Session::new().run(&cases).expect("fig06 scenarios validate");
+    Fig6Result {
+        smt: reduce(&runs[0], true),
+        no_smt: reduce(&runs[1], false),
+    }
 }
 
 /// Renders the paper-style comparison.

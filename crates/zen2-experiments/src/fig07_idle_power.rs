@@ -7,14 +7,17 @@
 //! * **active (pause)** — an unrolled pause loop pinned to the first *n*
 //!   logical CPUs, at 1.5 / 2.2 / 2.5 GHz;
 //! * the all-C2 baseline.
+//!
+//! Every configuration is one declarative [`Scenario`]; the whole sweep is
+//! a single [`Session`] batch.
 
 use crate::report::{compare, Table};
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{SimConfig, System};
-use zen2_topology::LogicalCpu;
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
 /// Paper reference points.
 pub mod paper {
@@ -86,65 +89,77 @@ impl Config {
     }
 }
 
-/// Measures one configuration and returns the mean AC power.
-fn measure(cfg: &Config, seed: u64, kind: SweepKind, n_threads: usize) -> f64 {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
-    let numbering = sys.numbering().clone();
-    for cpu_idx in 0..n_threads {
-        let thread = numbering.thread_of(LogicalCpu(cpu_idx as u32));
-        match kind {
-            SweepKind::C1 => sys.set_cstate_enabled(thread, 2, false),
-            SweepKind::ActivePause(mhz) => {
-                // Both siblings' requests must drop or the idle sibling's
-                // nominal request pins the core (the Section V-A rule).
-                sys.set_thread_pstate_mhz(thread, mhz);
-                sys.set_thread_pstate_mhz(zen2_topology::ThreadId(thread.0 ^ 1), mhz);
-                sys.set_workload(thread, KernelClass::Pause, OperandWeight::HALF);
-            }
+/// The AC-power measurement label shared by every case.
+const AC: &str = "ac";
+
+/// Builds the declarative scenario for one sweep configuration:
+/// `n_threads` logical CPUs leave C2 at t = 0, the machine settles for
+/// 50 ms, and mean AC power is observed over the next `duration_s`.
+fn scenario(
+    cfg: &Config,
+    numbering: &CpuNumbering,
+    kind: Option<SweepKind>,
+    n_threads: usize,
+) -> Scenario {
+    let mut sc = Scenario::new();
+    if let Some(kind) = kind {
+        let mut at = sc.at(0);
+        for cpu_idx in 0..n_threads {
+            let thread = numbering.thread_of(LogicalCpu(cpu_idx as u32));
+            at = match kind {
+                SweepKind::C1 => at.cstate(thread, 2, false),
+                SweepKind::ActivePause(mhz) => at
+                    // Both siblings' requests must drop or the idle
+                    // sibling's nominal request pins the core (the
+                    // Section V-A rule).
+                    .pstate(thread, mhz)
+                    .pstate(ThreadId(thread.0 ^ 1), mhz)
+                    .workload(thread, KernelClass::Pause, OperandWeight::HALF),
+            };
         }
     }
-    sys.run_for_secs(0.05);
-    let t0 = sys.now_ns();
-    sys.run_for_secs(cfg.duration_s);
-    sys.trace_mean_w(t0, sys.now_ns())
+    sc.probe(AC, Probe::AcTrueMeanW, Window::span_secs(0.05, 0.05 + cfg.duration_s));
+    sc
 }
 
-/// Runs all sweeps (configurations fan out over OS threads).
+/// Runs all sweeps as one parallel [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> Fig7Result {
-    let baseline = {
-        let mut sys = System::new(SimConfig::epyc_7502_2s(), seeds::child(seed, 999));
-        sys.run_for_secs(0.05);
-        let t0 = sys.now_ns();
-        sys.run_for_secs(cfg.duration_s);
-        sys.trace_mean_w(t0, sys.now_ns())
-    };
+    let sim_cfg = SimConfig::epyc_7502_2s();
+    let numbering = CpuNumbering::linux_default(&sim_cfg.topology);
 
     let mut kinds = vec![SweepKind::C1];
     kinds.extend(cfg.freqs_mhz.iter().map(|&f| SweepKind::ActivePause(f)));
 
+    let mut cases = vec![Case::new(
+        "baseline",
+        sim_cfg.clone(),
+        scenario(cfg, &numbering, None, 0),
+        seeds::child(seed, 999),
+    )];
+    for (ki, &kind) in kinds.iter().enumerate() {
+        for (ci, &count) in cfg.thread_counts.iter().enumerate() {
+            cases.push(Case::new(
+                format!("{kind:?}/{count}"),
+                sim_cfg.clone(),
+                scenario(cfg, &numbering, Some(kind), count),
+                seeds::child(seed, (ki * 1000 + ci) as u64),
+            ));
+        }
+    }
+
+    let runs = Session::new().run(&cases).expect("fig07 scenarios validate");
+    let baseline_w = runs[0].watts(AC);
     let mut curves = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (ki, &kind) in kinds.iter().enumerate() {
-            for (ci, &count) in cfg.thread_counts.iter().enumerate() {
-                let seed = seeds::child(seed, (ki * 1000 + ci) as u64);
-                let cfg_ref = &*cfg;
-                handles.push((ki, scope.spawn(move || measure(cfg_ref, seed, kind, count))));
-            }
-        }
-        let mut per_kind: Vec<Vec<f64>> = vec![Vec::new(); kinds.len()];
-        for (ki, h) in handles {
-            per_kind[ki].push(h.join().expect("sweep worker panicked"));
-        }
-        for (ki, kind) in kinds.iter().enumerate() {
-            curves.push(Curve {
-                kind: *kind,
-                thread_counts: cfg.thread_counts.clone(),
-                ac_w: per_kind[ki].clone(),
-            });
-        }
-    });
-    Fig7Result { baseline_w: baseline, curves }
+    let mut next = 1;
+    for &kind in &kinds {
+        let ac_w: Vec<f64> = runs[next..next + cfg.thread_counts.len()]
+            .iter()
+            .map(|r| r.watts(AC))
+            .collect();
+        next += cfg.thread_counts.len();
+        curves.push(Curve { kind, thread_counts: cfg.thread_counts.clone(), ac_w });
+    }
+    Fig7Result { baseline_w, curves }
 }
 
 /// Derived staircase parameters from a C1 curve.

@@ -4,14 +4,16 @@
 //! `pthread_cond_wait`, the caller signals it. Local pairs share a CCX;
 //! remote pairs sit on different sockets. 200 samples per combination of
 //! C-state, frequency and placement.
+//!
+//! Each combination is a declarative [`Scenario`] whose sampling plan is
+//! a [`Probe::WakeupSamples`] window; the grid fans out via [`Session`].
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
-use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::{mean, quantile};
-use zen2_sim::{SimConfig, System};
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
 use zen2_topology::ThreadId;
 
 /// Paper reference: C1 ≈ 1 µs at 2.2/2.5 GHz, 1.5 µs at 1.5 GHz; C2
@@ -58,38 +60,38 @@ impl Config {
     }
 }
 
-fn measure(cfg: &Config, seed: u64, cstate: u8, freq_mhz: u32, remote: bool) -> WakeupDist {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
-    // Caller on core 0; callee on core 1 (same CCX) or socket 1 (remote).
+/// Time between wakeup samples, ns (the benchmark's inter-sample pause).
+const SAMPLE_GAP_NS: u64 = 200_000;
+
+/// Builds one combination's scenario: caller busy on core 0, callee idle
+/// on core 1 (local) or socket 1 (remote) at the given frequency and
+/// C-state, then `samples` cond-var wakeups every 200 µs.
+fn scenario(cfg: &Config, cstate: u8, freq_mhz: u32, remote: bool) -> Scenario {
     let caller = ThreadId(0);
     let callee = if remote { ThreadId(64) } else { ThreadId(2) };
-    sys.set_workload(caller, KernelClass::BusyWait, OperandWeight::HALF);
-    // Frequency applies to the callee core (both siblings).
     let sibling = ThreadId(callee.0 + 1);
-    sys.set_thread_pstate_mhz(callee, freq_mhz);
-    sys.set_thread_pstate_mhz(sibling, freq_mhz);
-    if cstate == 1 {
-        sys.set_cstate_enabled(callee, 2, false);
-    }
-    sys.run_for_secs(0.02);
 
-    let mut samples_us = Vec::with_capacity(cfg.samples);
-    for _ in 0..cfg.samples {
-        sys.run_for_ns(200_000);
-        samples_us.push(sys.sample_wakeup_ns(caller, callee) / 1000.0);
+    let mut sc = Scenario::new();
+    let at = sc
+        .at(0)
+        .workload(caller, zen2_isa::KernelClass::BusyWait, zen2_isa::OperandWeight::HALF)
+        // Frequency applies to the callee core (both siblings).
+        .pstate(callee, freq_mhz)
+        .pstate(sibling, freq_mhz);
+    if cstate == 1 {
+        at.cstate(callee, 2, false);
     }
-    WakeupDist {
-        cstate,
-        freq_mhz,
-        remote,
-        median_us: quantile(&samples_us, 0.5),
-        mean_us: mean(&samples_us),
-        p95_us: quantile(&samples_us, 0.95),
-        max_us: samples_us.iter().copied().fold(0.0, f64::max),
-    }
+
+    let from = zen2_sim::time::from_secs(0.02);
+    sc.probe(
+        "wakeups",
+        Probe::WakeupSamples { caller, callee, count: cfg.samples, gap: SAMPLE_GAP_NS },
+        Window::span(from, from + cfg.samples as u64 * SAMPLE_GAP_NS),
+    );
+    sc
 }
 
-/// Runs all combinations (fanning out over OS threads).
+/// Runs all combinations as one [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> Fig8Result {
     let mut combos = Vec::new();
     for &cstate in &[1u8, 2u8] {
@@ -99,21 +101,38 @@ pub fn run(cfg: &Config, seed: u64) -> Fig8Result {
             }
         }
     }
-    let mut dists = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = combos
-            .iter()
-            .enumerate()
-            .map(|(i, &(cstate, freq, remote))| {
-                let cfg = cfg.clone();
-                let s = seeds::child(seed, i as u64);
-                scope.spawn(move || measure(&cfg, s, cstate, freq, remote))
-            })
-            .collect();
-        for h in handles {
-            dists.push(h.join().expect("wakeup worker panicked"));
-        }
-    });
+    let sim_cfg = SimConfig::epyc_7502_2s();
+    let cases: Vec<Case> = combos
+        .iter()
+        .enumerate()
+        .map(|(i, &(cstate, freq, remote))| {
+            Case::new(
+                format!("C{cstate}/{freq}MHz/{}", if remote { "remote" } else { "local" }),
+                sim_cfg.clone(),
+                scenario(cfg, cstate, freq, remote),
+                seeds::child(seed, i as u64),
+            )
+        })
+        .collect();
+    let runs = Session::new().run(&cases).expect("fig08 scenarios validate");
+
+    let dists = combos
+        .iter()
+        .zip(&runs)
+        .map(|(&(cstate, freq_mhz, remote), run)| {
+            let samples_us: Vec<f64> =
+                run.durations_ns("wakeups").iter().map(|ns| ns / 1000.0).collect();
+            WakeupDist {
+                cstate,
+                freq_mhz,
+                remote,
+                median_us: quantile(&samples_us, 0.5),
+                mean_us: mean(&samples_us),
+                p95_us: quantile(&samples_us, 0.95),
+                max_us: samples_us.iter().copied().fold(0.0, f64::max),
+            }
+        })
+        .collect();
     Fig8Result { dists }
 }
 

@@ -4,13 +4,15 @@
 //! hardware thread is set to the nominal frequency and left idle (or
 //! offlined). On Zen 2 the idle/offline sibling's request still elevates
 //! the core — never observed on Intel with deep idle states enabled.
+//!
+//! The three sibling configurations are declarative [`Scenario`]s run as
+//! one [`Session`] batch.
 
 use crate::report::Table;
 use serde::Serialize;
-use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::perf::ThreadCounters;
-use zen2_sim::time::MILLISECOND;
-use zen2_sim::{SimConfig, System};
+use zen2_sim::time::{MILLISECOND, SECOND};
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
 use zen2_topology::ThreadId;
 
 /// Sibling configurations swept.
@@ -43,46 +45,59 @@ pub struct Sec5aResult {
     pub observations: Vec<Observation>,
 }
 
+/// Builds one sibling configuration's scenario.
+fn scenario(mode: SiblingMode) -> Scenario {
+    let active = ThreadId(0);
+    let sibling = ThreadId(1);
+    let mut sc = Scenario::new();
+    let at = sc
+        .at(0)
+        .workload(active, zen2_isa::KernelClass::BusyWait, zen2_isa::OperandWeight::HALF)
+        .pstate(active, 1500);
+    match mode {
+        SiblingMode::IdleAtNominal => at.pstate(sibling, 2500),
+        SiblingMode::OfflineAtNominal => at.pstate(sibling, 2500).online(sibling, false),
+        SiblingMode::IdleAtMinimum => at.pstate(sibling, 1500),
+    };
+    // 20 ms settling, then one second of perf counting on both threads.
+    let window = Window::span(20 * MILLISECOND, 20 * MILLISECOND + SECOND);
+    sc.probe("active", Probe::CounterDelta(active), window);
+    sc.probe("sibling", Probe::CounterDelta(sibling), window);
+    sc
+}
+
 /// Runs the three sibling configurations.
 pub fn run(seed: u64) -> Sec5aResult {
-    let mut observations = Vec::new();
-    for (i, &mode) in [
-        SiblingMode::IdleAtNominal,
-        SiblingMode::OfflineAtNominal,
-        SiblingMode::IdleAtMinimum,
-    ]
-    .iter()
-    .enumerate()
-    {
-        let mut sys = System::new(SimConfig::epyc_7502_2s(), crate::seeds::child(seed, i as u64));
-        let active = ThreadId(0);
-        let sibling = ThreadId(1);
-        sys.set_workload(active, KernelClass::BusyWait, OperandWeight::HALF);
-        sys.set_thread_pstate_mhz(active, 1500);
-        match mode {
-            SiblingMode::IdleAtNominal => {
-                sys.set_thread_pstate_mhz(sibling, 2500);
+    let modes =
+        [SiblingMode::IdleAtNominal, SiblingMode::OfflineAtNominal, SiblingMode::IdleAtMinimum];
+    let sim_cfg = SimConfig::epyc_7502_2s();
+    let cases: Vec<Case> = modes
+        .iter()
+        .enumerate()
+        .map(|(i, &mode)| {
+            Case::new(
+                format!("{mode:?}"),
+                sim_cfg.clone(),
+                scenario(mode),
+                crate::seeds::child(seed, i as u64),
+            )
+        })
+        .collect();
+    let runs = Session::new().run(&cases).expect("sec5a scenarios validate");
+
+    let observations = modes
+        .iter()
+        .zip(&runs)
+        .map(|(&mode, run)| {
+            let (a_begin, a_end, _) = run.counter_delta("active");
+            let (s_begin, s_end, wall_s) = run.counter_delta("sibling");
+            Observation {
+                mode,
+                active_freq_ghz: ThreadCounters::effective_ghz(&a_begin, &a_end, 2.5),
+                sibling_cycles_per_s: (s_end.cycles - s_begin.cycles) / wall_s,
             }
-            SiblingMode::OfflineAtNominal => {
-                sys.set_thread_pstate_mhz(sibling, 2500);
-                sys.set_online(sibling, false);
-            }
-            SiblingMode::IdleAtMinimum => {
-                sys.set_thread_pstate_mhz(sibling, 1500);
-            }
-        }
-        sys.run_for_ns(20 * MILLISECOND);
-        let b_active = sys.counters(active);
-        let b_sib = sys.counters(sibling);
-        sys.run_for_secs(1.0);
-        let a_active = sys.counters(active);
-        let a_sib = sys.counters(sibling);
-        observations.push(Observation {
-            mode,
-            active_freq_ghz: ThreadCounters::effective_ghz(&b_active, &a_active, 2.5),
-            sibling_cycles_per_s: a_sib.cycles - b_sib.cycles,
-        });
-    }
+        })
+        .collect();
     Sec5aResult { observations }
 }
 

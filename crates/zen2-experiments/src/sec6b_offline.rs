@@ -5,11 +5,15 @@
 //! as the disabled hardware threads are offline. Only an explicit enabling
 //! of the disabled threads will fix this behavior." The paper therefore
 //! *strongly discourages* disabling hardware threads on Rome.
+//!
+//! The offline → re-online sequence is a single declarative [`Scenario`]
+//! with three observation windows; the clean-parking ablation is a second
+//! case in the same [`Session`] batch.
 
 use crate::report::{compare, Table};
 use serde::Serialize;
-use zen2_sim::{SimConfig, System};
-use zen2_topology::{LogicalCpu, ThreadId};
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
 /// Full experiment output.
 #[derive(Debug, Clone, Serialize)]
@@ -25,39 +29,67 @@ pub struct Sec6bResult {
     pub clean_parking_w: f64,
 }
 
-/// Runs the offline/re-online sequence.
+/// Settling time before each measurement window, seconds.
+const SETTLE_S: f64 = 0.05;
+/// Measurement window length, seconds.
+const MEASURE_S: f64 = 0.4;
+
+/// The second hardware threads in logical-CPU order (cpus 64..128).
+fn second_threads(numbering: &CpuNumbering) -> Vec<ThreadId> {
+    (64..128).map(|cpu| numbering.thread_of(LogicalCpu(cpu))).collect()
+}
+
+/// Builds the offline → re-online sequence as one scenario: three
+/// settle-then-measure phases around the two hotplug transitions.
+fn sequence_scenario(threads: &[ThreadId]) -> Scenario {
+    let phase = MEASURE_S + SETTLE_S;
+    let mut sc = Scenario::new();
+    sc.probe("baseline", Probe::AcTrueMeanW, Window::span_secs(SETTLE_S, phase));
+
+    let mut at = sc.at_secs(phase);
+    for &t in threads {
+        at = at.online(t, false);
+    }
+    sc.probe("offline", Probe::AcTrueMeanW, Window::span_secs(phase + SETTLE_S, 2.0 * phase));
+
+    let mut at = sc.at_secs(2.0 * phase);
+    for &t in threads {
+        at = at.online(t, true);
+    }
+    sc.probe("reonline", Probe::AcTrueMeanW, Window::span_secs(2.0 * phase + SETTLE_S, 3.0 * phase));
+    sc
+}
+
+/// Builds the clean-parking ablation scenario: offline at t = 0, measure.
+fn clean_scenario(threads: &[ThreadId]) -> Scenario {
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for &t in threads {
+        at = at.online(t, false);
+    }
+    sc.probe("clean", Probe::AcTrueMeanW, Window::span_secs(SETTLE_S, SETTLE_S + MEASURE_S));
+    sc
+}
+
+/// Runs the offline/re-online sequence plus the clean-parking ablation.
 pub fn run(seed: u64) -> Sec6bResult {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
-    let numbering = sys.numbering().clone();
-    let second_threads: Vec<ThreadId> =
-        (64..128).map(|cpu| numbering.thread_of(LogicalCpu(cpu))).collect();
-
-    let measure = |sys: &mut System| {
-        sys.run_for_secs(0.05);
-        let t0 = sys.now_ns();
-        sys.run_for_secs(0.4);
-        sys.trace_mean_w(t0, sys.now_ns())
-    };
-
-    let baseline_w = measure(&mut sys);
-    for &t in &second_threads {
-        sys.set_online(t, false);
-    }
-    let offline_w = measure(&mut sys);
-    for &t in &second_threads {
-        sys.set_online(t, true);
-    }
-    let reonline_w = measure(&mut sys);
-
+    let cfg = SimConfig::epyc_7502_2s();
     let mut clean_cfg = SimConfig::epyc_7502_2s();
     clean_cfg.os.offline_parks_in_c1 = false;
-    let mut clean = System::new(clean_cfg, seed ^ 1);
-    for &t in &second_threads {
-        clean.set_online(t, false);
-    }
-    let clean_parking_w = measure(&mut clean);
+    let threads = second_threads(&CpuNumbering::linux_default(&cfg.topology));
 
-    Sec6bResult { baseline_w, offline_w, reonline_w, clean_parking_w }
+    let cases = vec![
+        Case::new("sequence", cfg, sequence_scenario(&threads), seed),
+        Case::new("clean-parking", clean_cfg, clean_scenario(&threads), seed ^ 1),
+    ];
+    let runs = Session::new().run(&cases).expect("sec6b scenarios validate");
+
+    Sec6bResult {
+        baseline_w: runs[0].watts("baseline"),
+        offline_w: runs[0].watts("offline"),
+        reonline_w: runs[0].watts("reonline"),
+        clean_parking_w: runs[1].watts("clean"),
+    }
 }
 
 /// Renders the summary.

@@ -33,6 +33,16 @@
 //! * [`os`] — the Linux-side interfaces the paper drives: the `userspace`
 //!   cpufreq governor, sysfs C-state disabling, hotplug.
 //! * [`system`] — the façade tying it all together.
+//!
+//! The declarative driving surface sits on top of the façade:
+//!
+//! * [`scenario`] — a [`Scenario`] records timed actions as data and
+//!   validates them against the topology before anything simulates.
+//! * [`probe`] — a [`Probe`] plus a [`Window`] declares *what* to observe
+//!   and *when*; executing a scenario returns one typed [`Run`].
+//! * [`session`] — a [`Session`] executes `(SimConfig, Scenario, seed)`
+//!   batches across a worker pool with results independent of the worker
+//!   count, reusing one booted prototype per distinct configuration.
 
 pub mod ccx;
 pub mod config;
@@ -42,6 +52,9 @@ pub mod methodology;
 pub mod os;
 pub mod perf;
 pub mod power;
+pub mod probe;
+pub mod scenario;
+pub mod session;
 pub mod smu;
 pub mod system;
 pub mod trace;
@@ -52,5 +65,8 @@ pub mod wakeup;
 mod proptests;
 
 pub use config::SimConfig;
+pub use probe::{Measurement, Probe, ProbeSpec, Run, Window};
+pub use scenario::{Op, Scenario, ScenarioError, Step};
+pub use session::{Case, Session, SessionError};
 pub use system::System;
 pub use time::{Duration, Instant, Ns};

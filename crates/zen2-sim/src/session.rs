@@ -1,0 +1,180 @@
+//! Batch execution: many `(SimConfig, Scenario, seed)` cases across a
+//! worker pool, with results identical to serial execution.
+//!
+//! Each case runs on its own freshly seeded machine, so results depend
+//! only on the case — never on scheduling — and [`Session::run`] returns
+//! them in case order regardless of the worker count. Machines are
+//! forked from one booted prototype per distinct configuration
+//! ([`System::fork`]), so the boot cost (MSR file construction, workload
+//! registry, thermal settling) is paid once per configuration instead of
+//! once per case.
+//!
+//! ```
+//! use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+//!
+//! let mut sc = Scenario::new();
+//! sc.probe("idle", Probe::AcTrueMeanW, Window::span_secs(0.05, 0.25));
+//! let cases: Vec<Case> = (0..4)
+//!     .map(|i| Case::new(format!("case{i}"), SimConfig::epyc_7502_2s(), sc.clone(), i))
+//!     .collect();
+//! let runs = Session::new().workers(2).run(&cases).unwrap();
+//! assert_eq!(runs.len(), 4);
+//! assert!((runs[0].watts("idle") - 99.1).abs() < 1.5);
+//! ```
+
+use crate::config::SimConfig;
+use crate::probe::Run;
+use crate::scenario::{Scenario, ScenarioError};
+use crate::system::System;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of batch work: a machine configuration, a scenario, and the
+/// boot seed.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Human-readable identifier, reported in errors.
+    pub label: String,
+    /// The machine to boot.
+    pub config: SimConfig,
+    /// The schedule to execute.
+    pub scenario: Scenario,
+    /// The seed all of the case's stochastic behavior flows from.
+    pub seed: u64,
+}
+
+impl Case {
+    /// Builds a case.
+    pub fn new(
+        label: impl Into<String>,
+        config: SimConfig,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Self {
+        Self { label: label.into(), config, scenario, seed }
+    }
+}
+
+/// A batch runner with a fixed worker pool.
+#[derive(Debug, Clone)]
+pub struct Session {
+    workers: usize,
+    reuse_boots: bool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session sized to the host's available parallelism.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self { workers, reuse_boots: true }
+    }
+
+    /// Sets the worker count (results do not depend on it).
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a session needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Disables prototype reuse: every case boots its own machine from
+    /// scratch. Results are identical either way; this exists for
+    /// benchmarking the reuse win.
+    pub fn reuse_boots(mut self, reuse: bool) -> Self {
+        self.reuse_boots = reuse;
+        self
+    }
+
+    /// Validates every case, then executes the batch across the worker
+    /// pool. Results come back in case order and are a pure function of
+    /// each `(config, scenario, seed)` triple.
+    pub fn run(&self, cases: &[Case]) -> Result<Vec<Run>, SessionError> {
+        for case in cases {
+            case.scenario.validate(&case.config).map_err(|error| SessionError {
+                case: case.label.clone(),
+                error,
+            })?;
+        }
+
+        // One booted prototype per configuration that is actually shared
+        // (booting a prototype for a config used once would cost more
+        // than it saves). `SimConfig` carries only plain data, so its
+        // Debug rendering is a faithful identity key; render it once per
+        // case, not per dispatch.
+        let mut prototypes: HashMap<String, System> = HashMap::new();
+        let mut keys: Vec<String> = Vec::new();
+        if self.reuse_boots {
+            keys = cases.iter().map(|case| format!("{:?}", case.config)).collect();
+            let mut occurrences: HashMap<&str, usize> = HashMap::new();
+            for key in &keys {
+                *occurrences.entry(key).or_insert(0) += 1;
+            }
+            for (case, key) in cases.iter().zip(&keys) {
+                if occurrences[key.as_str()] > 1 && !prototypes.contains_key(key) {
+                    prototypes.insert(key.clone(), System::new(case.config.clone(), 0));
+                }
+            }
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Run>>> =
+            cases.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.workers.min(cases.len()).max(1);
+        let prototypes = &prototypes;
+        let keys_ref = &keys;
+        let results_ref = &results;
+        let next_ref = &next;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= cases.len() {
+                        break;
+                    }
+                    let case = &cases[i];
+                    let mut sys = match keys_ref.get(i).and_then(|k| prototypes.get(k)) {
+                        Some(proto) => proto.fork(case.seed),
+                        None => System::new(case.config.clone(), case.seed),
+                    };
+                    // The batch was validated up front; skip the re-check.
+                    let run = sys.run_scenario_prechecked(&case.scenario);
+                    *results_ref[i].lock().expect("result slot poisoned") = Some(run);
+                });
+            }
+        });
+
+        Ok(results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every claimed case stores its run")
+            })
+            .collect())
+    }
+}
+
+/// A validation failure, attributed to its case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionError {
+    /// The offending case's label.
+    pub case: String,
+    /// The underlying scenario error.
+    pub error: ScenarioError,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "case {:?}: {}", self.case, self.error)
+    }
+}
+
+impl std::error::Error for SessionError {}

@@ -24,11 +24,13 @@ use zen2_topology::{CoreId, CpuNumbering, SocketId, ThreadId};
 const MAX_SEGMENT_NS: Ns = 100 * MILLISECOND;
 
 /// The simulated system.
+#[derive(Clone)]
 pub struct System {
     cfg: SimConfig,
     kernels: WorkloadSet,
     numbering: CpuNumbering,
     now: Ns,
+    seed: u64,
     rng: ChaCha8Rng,
     msrs: MsrFile,
 
@@ -86,6 +88,7 @@ impl System {
             msrs: MsrFile::with_pstate_table(&topo, &cfg.pstates),
             kernels: WorkloadSet::paper(),
             now: 0,
+            seed,
             rng: ChaCha8Rng::seed_from_u64(seed),
             thread_states: vec![ThreadState::C2; num_threads],
             workloads: vec![None; num_threads],
@@ -126,11 +129,44 @@ impl System {
         sys
     }
 
+    /// Forks a pristine booted machine into an identical one reseeded
+    /// with `seed`: the result is indistinguishable from
+    /// `System::new(cfg, seed)` but skips the boot cost. Used by
+    /// [`Session`](crate::Session) to amortize booting across a batch.
+    ///
+    /// # Panics
+    /// Panics if this machine is not in its boot state — time advanced,
+    /// any workload scheduled (scheduling consumes the RNG, which a
+    /// reseed would not reproduce), or any frequency request / C-state
+    /// configuration changed from boot defaults.
+    pub fn fork(&self, seed: u64) -> System {
+        let nominal = self.cfg.nominal_mhz();
+        assert!(
+            self.now == 0
+                && self.workloads.iter().all(Option::is_none)
+                && self.thread_states.iter().all(|&s| s == ThreadState::C2)
+                && self.pstate_req_mhz.iter().all(|&mhz| mhz == nominal)
+                && self.idle_cfg.iter().all(|c| *c == IdleConfig::default())
+                && !self.tracer.is_enabled()
+                && self.tracer.records().is_empty(),
+            "fork requires a pristine booted system"
+        );
+        let mut sys = self.clone();
+        sys.seed = seed;
+        sys.rng = ChaCha8Rng::seed_from_u64(seed);
+        sys
+    }
+
     // ---- accessors -------------------------------------------------------
 
     /// Current simulated time in nanoseconds.
     pub fn now_ns(&self) -> Ns {
         self.now
+    }
+
+    /// The seed this machine was booted (or forked) with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The configuration the machine was built with.
@@ -181,6 +217,25 @@ impl System {
     /// The scheduling state of a thread.
     pub fn thread_state(&self, thread: ThreadId) -> ThreadState {
         self.thread_states[thread.index()]
+    }
+
+    /// The live per-thread state in the scenario validator's terms, so
+    /// scenarios validate against what this machine actually looks like
+    /// rather than boot defaults.
+    pub(crate) fn scheduling_snapshot(&self) -> Vec<crate::scenario::VThread> {
+        self.thread_states
+            .iter()
+            .zip(&self.idle_cfg)
+            .map(|(&state, idle)| crate::scenario::VThread {
+                // Active covers both real workloads and the POLL loop;
+                // either way there is no sleep state to wake from.
+                has_work: state.is_active(),
+                polling: false,
+                offline: state == ThreadState::Offline,
+                c1_enabled: idle.c1_enabled,
+                c2_enabled: idle.c2_enabled,
+            })
+            .collect()
     }
 
     /// Mutable access to the machine's RNG (for experiment-side sampling).
@@ -397,6 +452,12 @@ impl System {
     }
 
     // ---- measurement interfaces ---------------------------------------------
+    //
+    // All windowed measurements share one core: `trace_mean_w` (true
+    // power from the piecewise-constant trace), `metered_mean_w` (LMG670
+    // samples + inner-window averaging) and `probe::RaplWindow` (MSR
+    // energy-counter polling). The legacy `measure_*` methods below and
+    // the declarative `Probe` layer are both thin wrappers over these.
 
     /// Runs for `secs` and returns the externally-measured mean AC power
     /// over the inner 80 % of the interval (the paper's 10 s / inner-8 s
@@ -405,6 +466,12 @@ impl System {
         let from = self.now;
         self.run_for_secs(secs);
         let to = self.now;
+        self.metered_mean_w(from, to)
+    }
+
+    /// Externally-measured mean AC power over a past interval: LMG670
+    /// samples averaged over the inner 80 % of the window.
+    pub fn metered_mean_w(&mut self, from: Ns, to: Ns) -> f64 {
         let samples = self.meter_samples(from, to);
         zen2_power::PowerMeter::inner_window_mean(&samples, to_secs(from), to_secs(to))
     }
@@ -444,21 +511,16 @@ impl System {
 
     /// Runs for `secs` and returns mean RAPL power per domain as software
     /// would compute it: `(package sum, core sum)` in watts, read through
-    /// the MSR energy counters.
+    /// the MSR energy counters, polled at ~100 ms to stay far from
+    /// counter wrap.
     pub fn measure_rapl_w(&mut self, secs: f64) -> (f64, f64) {
-        self.sync_rapl_msrs();
-        let mut reader =
-            zen2_rapl::RaplReader::new(&self.cfg.topology, &self.msrs).expect("msr file valid");
-        let from = self.now;
-        // Poll at 100 ms to stay far from counter wrap.
-        let steps = (secs / 0.1).ceil() as u64;
+        let mut window = crate::probe::RaplWindow::open(self);
+        let steps = crate::probe::rapl_poll_steps(crate::time::from_secs(secs));
         for _ in 0..steps {
             self.run_for_secs(secs / steps as f64);
-            self.sync_rapl_msrs();
-            reader.poll(&self.msrs).expect("msr file valid");
+            window.poll(self);
         }
-        let dt = to_secs(self.now - from);
-        (reader.package_sum_joules() / dt, reader.core_sum_joules() / dt)
+        window.finish(self)
     }
 
     /// Copies the published RAPL counters into the MSR file (the moment

@@ -22,14 +22,16 @@ pub fn to_secs(ns: Ns) -> f64 {
     ns as f64 / SECOND as f64
 }
 
-/// Converts floating-point seconds to a span (rounding down).
+/// Converts floating-point seconds to a span, rounding to the nearest
+/// nanosecond (truncation would make e.g. `0.6 s` end 1 ns early, which
+/// silently drops the last sample of an exact probe sampling plan).
 ///
 /// # Panics
 /// Panics on negative or non-finite input.
 #[inline]
 pub fn from_secs(s: f64) -> Ns {
     assert!(s.is_finite() && s >= 0.0, "durations must be non-negative, got {s}");
-    (s * SECOND as f64) as Ns
+    (s * SECOND as f64).round() as Ns
 }
 
 /// The greatest multiple of `period` that is `<= t`.

@@ -1,5 +1,6 @@
-//! Quickstart: boot the paper's test system, watch the idle floor, wake a
-//! core, run a workload, and read both the wall meter and RAPL.
+//! Quickstart: boot the paper's test system and drive it with the
+//! declarative Scenario/Session API — record timed actions as data,
+//! declare observation windows, and read back one typed `Run`.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -10,55 +11,63 @@ use zen2_ee::prelude::*;
 fn main() {
     // The paper's machine: 2x AMD EPYC 7502 (64 cores / 128 threads),
     // SMT on, NPS4, DDR4-2933, I/O-die P-state "auto".
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), 0xC0FFEE);
-    println!("machine: {}", sys.config().topology.describe());
+    let config = SimConfig::epyc_7502_2s();
+    println!("machine: {}", config.topology.describe());
     // The hwloc view (first CCD only, for brevity):
-    let tree = zen2_ee::topology::render::lstopo(&sys.config().topology);
+    let tree = zen2_ee::topology::render::lstopo(&config.topology);
     for line in tree.lines().take(10) {
         println!("  {line}");
     }
     println!("  ...");
 
+    // One declarative scenario walks the whole story. Each `at(...)`
+    // records actions as data; each `probe(...)` declares what to observe
+    // and when. Nothing simulates until the scenario runs.
+    let mut sc = Scenario::new();
+
     // 1. Idle: all threads in C2, both packages in deep sleep (PC6).
-    sys.run_for_secs(0.5);
-    println!("idle, all C2:            {:6.1} W AC   (paper: 99.1 W)", sys.ac_power_w());
+    sc.probe("idle", Probe::AcTrueMeanW, Window::span_secs(0.1, 0.5));
 
     // 2. A single thread leaving the deepest C-state wakes *both*
     //    packages — the disproportionate first step of Fig. 7.
-    sys.set_cstate_enabled(ThreadId(0), 2, false); // thread 0 now idles in C1
-    sys.run_for_secs(0.1);
-    println!("one thread in C1:        {:6.1} W AC   (paper: 180.3 W)", sys.ac_power_w());
-    sys.set_cstate_enabled(ThreadId(0), 2, true);
+    sc.at_secs(0.5).cstate(ThreadId(0), 2, false); // thread 0 now idles in C1
+    sc.probe("one_c1", Probe::AcTrueMeanW, Window::span_secs(0.55, 0.65));
+    sc.at_secs(0.65).cstate(ThreadId(0), 2, true);
 
     // 3. Schedule a busy loop at the minimum frequency and observe the
-    //    effective frequency through APERF/MPERF, like `perf stat` does.
-    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
-    sys.set_thread_pstate_mhz(ThreadId(0), 1500);
-    sys.set_thread_pstate_mhz(ThreadId(1), 1500);
-    sys.run_for_secs(0.1);
-    println!(
-        "busy loop @1.5 GHz:      {:6.3} GHz effective",
-        sys.effective_core_ghz(CoreId(0))
-    );
+    //    effective frequency at the end of the phase, like `perf stat`.
+    sc.at_secs(0.65)
+        .workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF)
+        .pstate(ThreadId(0), 1500)
+        .pstate(ThreadId(1), 1500);
+    sc.probe("slow_ghz", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(0.75));
 
     // 4. Fill the whole machine with FIRESTARTER: the SMU's telemetry
     //    loop throttles below nominal (Fig. 6) while RAPL reads ~170 W.
+    let mut at = sc.at_secs(0.75);
     for t in 0..128u32 {
-        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
-        sys.set_thread_pstate_mhz(ThreadId(t), 2500);
+        at = at
+            .workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF)
+            .pstate(ThreadId(t), 2500);
     }
-    sys.run_for_secs(0.3);
-    sys.preheat(); // the paper's 15-minute warm-up, fast-forwarded
-    let t0 = sys.now_ns();
-    let (rapl_pkg_sum, rapl_core_sum) = sys.measure_rapl_w(1.0);
-    let wall = sys.trace_mean_w(t0, sys.now_ns());
+    sc.at_secs(1.05).preheat(); // the paper's 15-minute warm-up, fast-forwarded
+    sc.probe("wall", Probe::AcTrueMeanW, Window::span_secs(1.05, 2.05));
+    sc.probe("rapl", Probe::RaplW, Window::span_secs(1.05, 2.05));
+    sc.probe("hot_ghz", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(2.05));
+
+    // Scenarios validate against the topology before anything simulates;
+    // a Session runs batches of them across a worker pool. One case is
+    // the smallest batch.
+    let cases = vec![Case::new("quickstart", config, sc, 0xC0FFEE)];
+    let run = &Session::new().run(&cases).expect("scenario validates")[0];
+
+    println!("idle, all C2:            {:6.1} W AC   (paper: 99.1 W)", run.watts("idle"));
+    println!("one thread in C1:        {:6.1} W AC   (paper: 180.3 W)", run.watts("one_c1"));
+    println!("busy loop @1.5 GHz:      {:6.3} GHz effective", run.ghz("slow_ghz"));
+    let (rapl_pkg_sum, rapl_core_sum) = run.watts_pair("rapl");
     println!("FIRESTARTER, all threads:");
-    println!("  effective frequency    {:6.3} GHz  (paper: 2.03 GHz)", sys.effective_core_ghz(CoreId(0)));
-    println!("  wall power             {wall:6.1} W    (paper: 509 W)");
+    println!("  effective frequency    {:6.3} GHz  (paper: 2.03 GHz)", run.ghz("hot_ghz"));
+    println!("  wall power             {:6.1} W    (paper: 509 W)", run.watts("wall"));
     println!("  RAPL package (socket)  {:6.1} W    (paper: 170 W)", rapl_pkg_sum / 2.0);
     println!("  RAPL core sum          {rapl_core_sum:6.1} W");
-    println!(
-        "  die temperature        {:6.1} C",
-        sys.die_temp_c(SocketId(0))
-    );
 }

@@ -8,20 +8,31 @@
 //!
 //! ## Quick start
 //!
+//! Scenarios record timed actions as data, probes declare what to
+//! observe, and a session executes `(config, scenario, seed)` cases over
+//! a worker pool — the same machinery every experiment module drives:
+//!
 //! ```
 //! use zen2_ee::prelude::*;
 //!
-//! // Boot the paper's test system: 2x EPYC 7502, SMT on, all idle.
-//! let mut sys = System::new(SimConfig::epyc_7502_2s(), 42);
-//! assert!((sys.ac_power_w() - 99.1).abs() < 1.5); // Fig. 7 idle floor
+//! // The paper's test system: 2x EPYC 7502, SMT on, booted all idle.
+//! let config = SimConfig::epyc_7502_2s();
 //!
-//! // Put FIRESTARTER on every hardware thread and watch the EDC/PPT
-//! // manager pull the cores below nominal (Fig. 6).
+//! // Watch the Fig. 7 idle floor, then put FIRESTARTER on every
+//! // hardware thread and watch the EDC/PPT manager pull the cores
+//! // below nominal (Fig. 6).
+//! let mut sc = Scenario::new();
+//! sc.probe("idle", Probe::AcTrueMeanW, Window::span_secs(0.05, 0.25));
+//! let mut at = sc.at_secs(0.25);
 //! for t in 0..128u32 {
-//!     sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+//!     at = at.workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
 //! }
-//! sys.run_for_secs(0.1);
-//! let f = sys.effective_core_ghz(CoreId(0));
+//! sc.probe("throttled", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(0.35));
+//!
+//! let cases = vec![Case::new("quickstart", config, sc, 42)];
+//! let run = &Session::new().run(&cases).expect("scenario validates")[0];
+//! assert!((run.watts("idle") - 99.1).abs() < 1.5); // Fig. 7 idle floor
+//! let f = run.ghz("throttled");
 //! assert!(f < 2.2, "throttled from the nominal 2.5 GHz to {f:.2} GHz");
 //! ```
 //!
@@ -53,7 +64,10 @@ pub use zen2_topology as topology;
 pub mod prelude {
     pub use zen2_isa::{KernelClass, OperandWeight, SmtMode};
     pub use zen2_mem::{DramFreq, IodPstate};
-    pub use zen2_sim::{SimConfig, System};
+    pub use zen2_sim::{
+        Case, Measurement, Probe, Run, Scenario, ScenarioError, Session, SimConfig, System,
+        Window,
+    };
     pub use zen2_topology::{CoreId, LogicalCpu, SocketId, ThreadId, Topology};
 }
 

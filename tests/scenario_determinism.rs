@@ -1,0 +1,214 @@
+//! Determinism guarantees of the declarative scenario machinery: the same
+//! `(SimConfig, Scenario, seed)` produces byte-identical [`Run`]s no
+//! matter how it is executed — directly, twice, forked from a prototype,
+//! or through [`Session`] pools of any worker count.
+
+use zen2_ee::prelude::*;
+
+/// A scenario touching every probe family: workloads, DVFS, C-states,
+/// hotplug, pre-heat, counters, RAPL, metered AC and wakeup sampling.
+fn rich_scenario() -> Scenario {
+    let mut sc = Scenario::new();
+    sc.at_secs(0.0)
+        .workload(ThreadId(0), KernelClass::Firestarter, OperandWeight::HALF)
+        .workload(ThreadId(2), KernelClass::AddPd, OperandWeight(0.8))
+        .pstate(ThreadId(4), 1500)
+        .cstate(ThreadId(6), 2, false)
+        .online(ThreadId(9), false);
+    sc.at_secs(0.1).preheat();
+    sc.at_secs(0.15).idle(ThreadId(2)).online(ThreadId(9), true);
+
+    sc.probe("ac_true", Probe::AcTrueMeanW, Window::span_secs(0.05, 0.35));
+    sc.probe("ac_metered", Probe::AcMeteredW, Window::span_secs(0.05, 0.35));
+    sc.probe("meter", Probe::MeterSamples, Window::span_secs(0.05, 0.35));
+    sc.probe("rapl", Probe::RaplW, Window::span_secs(0.05, 0.35));
+    sc.probe("perf", Probe::CounterDelta(ThreadId(0)), Window::span_secs(0.05, 0.35));
+    sc.probe(
+        "series",
+        Probe::CounterSeries { thread: ThreadId(0), every: 50_000_000 },
+        Window::span_secs(0.05, 0.35),
+    );
+    sc.probe(
+        "wakeups",
+        Probe::WakeupSamples { caller: ThreadId(0), callee: ThreadId(16), count: 20, gap: 200_000 },
+        Window::span_secs(0.36, 0.36 + 20.0 * 0.0002),
+    );
+    sc.probe("energy", Probe::AcEnergyJ, Window::span_secs(0.0, 0.4));
+    sc.probe("ghz", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(0.4));
+    sc.probe("pkg", Probe::PkgTrueW(SocketId(0)), Window::at_secs(0.4));
+    sc
+}
+
+fn cases(n: u64) -> Vec<Case> {
+    (0..n)
+        .map(|i| {
+            Case::new(format!("case{i}"), SimConfig::epyc_7502_2s(), rich_scenario(), 1000 + i)
+        })
+        .collect()
+}
+
+#[test]
+fn same_inputs_same_run_twice() {
+    let sc = rich_scenario();
+    let a = System::new(SimConfig::epyc_7502_2s(), 77).run_scenario(&sc).unwrap();
+    let b = System::new(SimConfig::epyc_7502_2s(), 77).run_scenario(&sc).unwrap();
+    assert_eq!(a, b);
+    // Byte-identical, not merely approximately equal.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn forked_prototype_matches_fresh_boot() {
+    let sc = rich_scenario();
+    let proto = System::new(SimConfig::epyc_7502_2s(), 0);
+    let via_fork = proto.fork(123).run_scenario(&sc).unwrap();
+    let via_new = System::new(SimConfig::epyc_7502_2s(), 123).run_scenario(&sc).unwrap();
+    assert_eq!(via_fork, via_new);
+    assert_eq!(format!("{via_fork:?}"), format!("{via_new:?}"));
+}
+
+#[test]
+fn session_results_are_independent_of_worker_count() {
+    let batch = cases(8);
+    let serial = Session::new().workers(1).run(&batch).unwrap();
+    let parallel = Session::new().workers(4).run(&batch).unwrap();
+    let oversubscribed = Session::new().workers(64).run(&batch).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, oversubscribed);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+#[test]
+fn session_boot_reuse_does_not_change_results() {
+    let batch = cases(4);
+    let reused = Session::new().workers(2).run(&batch).unwrap();
+    let cold = Session::new().workers(2).reuse_boots(false).run(&batch).unwrap();
+    assert_eq!(reused, cold);
+}
+
+#[test]
+fn different_seeds_differ() {
+    // The stochastic surfaces (meter noise, wakeup jitter) must actually
+    // flow from the seed, or the determinism tests above prove nothing.
+    let sc = rich_scenario();
+    let a = System::new(SimConfig::epyc_7502_2s(), 1).run_scenario(&sc).unwrap();
+    let b = System::new(SimConfig::epyc_7502_2s(), 2).run_scenario(&sc).unwrap();
+    assert_ne!(a.samples("meter"), b.samples("meter"));
+    assert_ne!(a.durations_ns("wakeups"), b.durations_ns("wakeups"));
+    // ...while the deterministic physics agree.
+    assert_eq!(a.ghz("ghz"), b.ghz("ghz"));
+}
+
+#[test]
+fn run_scenario_validates_against_live_machine_state() {
+    // A machine that already has work scheduled (or threads offlined)
+    // before the scenario starts: validation must see that state, not
+    // boot defaults.
+    let mut busy = System::new(SimConfig::epyc_7502_2s(), 5);
+    busy.set_workload(ThreadId(2), KernelClass::BusyWait, OperandWeight::HALF);
+    busy.run_for_ns(10_000_000);
+    let mut wakeup = Scenario::new();
+    wakeup.probe(
+        "w",
+        Probe::WakeupSamples { caller: ThreadId(0), callee: ThreadId(2), count: 3, gap: 1000 },
+        Window::span(0, 3000),
+    );
+    assert!(busy.run_scenario(&wakeup).is_err(), "busy callee must fail validation");
+
+    let mut offlined = System::new(SimConfig::epyc_7502_2s(), 5);
+    offlined.set_online(ThreadId(3), false);
+    let mut work = Scenario::new();
+    work.at(0).workload(ThreadId(3), KernelClass::BusyWait, OperandWeight::HALF);
+    assert!(offlined.run_scenario(&work).is_err(), "offline target must fail validation");
+    // Re-onlining it first makes the same scenario valid.
+    offlined.set_online(ThreadId(3), true);
+    assert!(offlined.run_scenario(&work).is_ok());
+}
+
+#[test]
+fn validation_rejects_bad_scenarios_before_simulating() {
+    let cfg = SimConfig::epyc_7502_2s();
+
+    let mut bad_thread = Scenario::new();
+    bad_thread.at(0).idle(ThreadId(500));
+    assert!(bad_thread.validate(&cfg).is_err());
+
+    let mut bad_freq = Scenario::new();
+    bad_freq.at(0).pstate(ThreadId(0), 1234);
+    assert!(bad_freq.validate(&cfg).is_err());
+
+    let mut bad_cstate = Scenario::new();
+    bad_cstate.at(0).cstate(ThreadId(0), 6, false);
+    assert!(bad_cstate.validate(&cfg).is_err());
+
+    let mut offline_workload = Scenario::new();
+    offline_workload.at(0).online(ThreadId(3), false);
+    offline_workload
+        .at_secs(0.1)
+        .workload(ThreadId(3), KernelClass::BusyWait, OperandWeight::HALF);
+    assert!(offline_workload.validate(&cfg).is_err());
+
+    let mut backwards = Scenario::new();
+    backwards.probe("w", Probe::AcTrueMeanW, Window::span(100, 50));
+    assert!(backwards.validate(&cfg).is_err());
+
+    let mut idle_offline = Scenario::new();
+    idle_offline.at(0).online(ThreadId(3), false);
+    idle_offline.at_secs(0.1).idle(ThreadId(3));
+    assert!(idle_offline.validate(&cfg).is_err());
+
+    let mut duplicate = Scenario::new();
+    duplicate.probe("ac", Probe::AcTrueMeanW, Window::span_secs(0.0, 0.1));
+    duplicate.probe("ac", Probe::AcMeteredW, Window::span_secs(0.0, 0.1));
+    assert!(duplicate.validate(&cfg).is_err());
+
+    // A wakeup probe whose callee is busy (or offlined) at sample time
+    // has no latency to measure; the validator must catch it pre-run.
+    let mut busy_callee = Scenario::new();
+    busy_callee.at(0).workload(ThreadId(2), KernelClass::BusyWait, OperandWeight::HALF);
+    busy_callee.probe(
+        "w",
+        Probe::WakeupSamples { caller: ThreadId(0), callee: ThreadId(2), count: 5, gap: 1000 },
+        Window::span(0, 5000),
+    );
+    assert!(busy_callee.validate(&cfg).is_err());
+
+    // A POLL-latched callee (all C-states disabled while idle, then one
+    // re-enabled) keeps spinning at runtime; the validator must model
+    // that latch rather than assume re-enabling re-settles the thread.
+    let mut poll_latched = Scenario::new();
+    poll_latched.at(0).cstate(ThreadId(2), 2, false).cstate(ThreadId(2), 1, false);
+    poll_latched.at_secs(0.001).cstate(ThreadId(2), 2, true);
+    poll_latched.probe(
+        "w",
+        Probe::WakeupSamples { caller: ThreadId(0), callee: ThreadId(2), count: 3, gap: 1000 },
+        Window::span_secs(0.002, 0.002 + 3.0 * 1e-6),
+    );
+    assert!(poll_latched.validate(&cfg).is_err());
+
+    // Absurd sampling plans are rejected before they can exhaust memory.
+    let mut dense = Scenario::new();
+    dense.probe(
+        "s",
+        Probe::CounterSeries { thread: ThreadId(0), every: 1 },
+        Window::span_secs(0.0, 0.3),
+    );
+    assert!(dense.validate(&cfg).is_err());
+
+    // ...but a callee that goes back to sleep before the window is fine.
+    let mut sleeps_again = Scenario::new();
+    sleeps_again.at(0).workload(ThreadId(2), KernelClass::BusyWait, OperandWeight::HALF);
+    sleeps_again.at_secs(0.01).idle(ThreadId(2));
+    sleeps_again.probe(
+        "w",
+        Probe::WakeupSamples { caller: ThreadId(0), callee: ThreadId(2), count: 5, gap: 1000 },
+        Window::span_secs(0.02, 0.02 + 5.0 * 1e-6),
+    );
+    assert!(sleeps_again.validate(&cfg).is_ok());
+
+    // Errors surface through Session with the case attributed.
+    let err = Session::new()
+        .run(&[Case::new("broken", cfg, bad_thread, 1)])
+        .unwrap_err();
+    assert_eq!(err.case, "broken");
+}
