@@ -53,8 +53,8 @@ impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
             quarter_round(&mut working, 2, 7, 8, 13);
             quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            self.buf[i] = working[i].wrapping_add(self.state[i]);
+        for ((out, w), s) in self.buf.iter_mut().zip(working).zip(self.state) {
+            *out = w.wrapping_add(s);
         }
         // 64-bit block counter in words 12/13.
         let (lo, carry) = self.state[12].overflowing_add(1);

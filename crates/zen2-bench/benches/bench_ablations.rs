@@ -19,9 +19,11 @@ fn loaded(cfg: SimConfig) -> System {
     sys
 }
 
+type ConfigVariant = (&'static str, Box<dyn Fn() -> SimConfig>);
+
 fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sim_cost_100ms_firestarter");
-    let variants: Vec<(&str, Box<dyn Fn() -> SimConfig>)> = vec![
+    let variants: Vec<ConfigVariant> = vec![
         ("baseline", Box::new(SimConfig::epyc_7502_2s)),
         ("no_ccx_coupling", Box::new(|| {
             let mut c = SimConfig::epyc_7502_2s();

@@ -6,12 +6,12 @@ use zen2_experiments::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    let r = exp::run(&exp::Config::fig3(scale), 0xF16_3);
+    let r = exp::run(&exp::Config::fig3(scale), 0xF163);
     print!("{}", exp::render(&r));
     if std::env::args().any(|a| a == "--anomaly") {
         println!("\n--- SS V-B anomaly: 2.5 <-> 2.2 GHz, waits 0-10 ms ---");
-        print!("{}", exp::render(&exp::run(&exp::Config::anomaly(scale), 0xF16_3A)));
+        print!("{}", exp::render(&exp::run(&exp::Config::anomaly(scale), 0xF163A)));
         println!("\n--- SS V-B anomaly control: waits >= 5 ms (effect must vanish) ---");
-        print!("{}", exp::render(&exp::run(&exp::Config::anomaly_long_waits(scale), 0xF16_3B)));
+        print!("{}", exp::render(&exp::run(&exp::Config::anomaly_long_waits(scale), 0xF163B)));
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 4 (L3 latency under mixed frequencies).
 use zen2_experiments::{fig04_l3_latency as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF16_4);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF164);
     print!("{}", exp::render(&r));
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 5 (I/O-die P-state and DRAM frequency sweep).
 use zen2_experiments::fig05_membw as exp;
 fn main() {
-    print!("{}", exp::render(&exp::run(0xF16_5)));
+    print!("{}", exp::render(&exp::run(0xF165)));
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 6 (FIRESTARTER throttling with and without SMT).
 use zen2_experiments::{fig06_firestarter as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF16_6);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF166);
     print!("{}", exp::render(&r));
 }

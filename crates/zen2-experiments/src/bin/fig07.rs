@@ -1,6 +1,6 @@
 //! Regenerates Fig. 7 (idle-state power staircase).
 use zen2_experiments::{fig07_idle_power as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF16_7);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF167);
     print!("{}", exp::render(&r));
 }

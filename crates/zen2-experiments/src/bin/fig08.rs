@@ -1,6 +1,6 @@
 //! Regenerates Fig. 8 (C-state wakeup latencies).
 use zen2_experiments::{fig08_wakeup as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF16_8);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF168);
     print!("{}", exp::render(&r));
 }

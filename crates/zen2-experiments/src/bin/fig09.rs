@@ -1,6 +1,6 @@
 //! Regenerates Fig. 9 (RAPL quality vs the AC reference).
 use zen2_experiments::{fig09_rapl_quality as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF16_9);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF169);
     print!("{}", exp::render(&r));
 }

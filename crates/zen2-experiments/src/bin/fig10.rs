@@ -4,6 +4,6 @@ use zen2_experiments::{fig10_hamming as exp, Scale};
 use zen2_isa::KernelClass;
 fn main() {
     let cfg = exp::Config::new(Scale::from_args());
-    print!("{}", exp::render(&exp::run(&cfg, 0xF16_10, KernelClass::VXorps)));
-    print!("{}", exp::render(&exp::run(&cfg, 0xF16_11, KernelClass::Shr)));
+    print!("{}", exp::render(&exp::run(&cfg, 0xF1610, KernelClass::VXorps)));
+    print!("{}", exp::render(&exp::run(&cfg, 0xF1611, KernelClass::Shr)));
 }

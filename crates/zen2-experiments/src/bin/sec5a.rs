@@ -2,5 +2,5 @@
 //! frequency).
 use zen2_experiments::sec5a_sibling as exp;
 fn main() {
-    print!("{}", exp::render(&exp::run(0x5EC_5A)));
+    print!("{}", exp::render(&exp::run(0x5EC5A)));
 }

@@ -1,5 +1,5 @@
 //! Regenerates the §VI-B observation (offline threads block package C6).
 use zen2_experiments::sec6b_offline as exp;
 fn main() {
-    print!("{}", exp::render(&exp::run(0x5EC_6B)));
+    print!("{}", exp::render(&exp::run(0x5EC6B)));
 }

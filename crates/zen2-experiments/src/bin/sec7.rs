@@ -1,5 +1,5 @@
 //! Regenerates the §VII RAPL update-rate measurement.
 use zen2_experiments::sec7_update_rate as exp;
 fn main() {
-    print!("{}", exp::render(&exp::run(&exp::Config::default(), 0x5EC_7)));
+    print!("{}", exp::render(&exp::run(&exp::Config::default(), 0x5EC7)));
 }

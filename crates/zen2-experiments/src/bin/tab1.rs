@@ -1,6 +1,6 @@
 //! Regenerates Table I (mixed frequencies on one CCX).
 use zen2_experiments::{tab1_mixed_freq as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0x7AB_1);
+    let r = exp::run(&exp::Config::new(Scale::from_args()), 0x7AB1);
     print!("{}", exp::render(&r));
 }

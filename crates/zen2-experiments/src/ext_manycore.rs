@@ -8,14 +8,15 @@
 //! single-socket EPYC 7742 (64 cores behind one I/O die, 225 W-class PPT)
 //! and compares the throttle depth against the EPYC 7502 baseline. The
 //! paper publishes no numbers for this — the results here are *model
-//! predictions*, clearly labeled as such.
+//! predictions*, clearly labeled as such. Both SKUs are declarative
+//! [`Scenario`]s run as one [`Session`] batch.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{SimConfig, System};
+use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
 use zen2_topology::{CoreId, ThreadId};
 
 /// One SKU's throttling result.
@@ -60,20 +61,29 @@ impl Config {
     }
 }
 
-fn run_sku(cfg: &Config, seed: u64, sim_cfg: SimConfig, sku: &str) -> SkuResult {
+/// Builds one SKU's scenario: FIRESTARTER on every hardware thread, the
+/// paper's pre-heat partway through the settle, then the equilibrium
+/// frequency and a trailing RAPL window.
+pub fn sku_scenario(cfg: &Config, sim_cfg: &SimConfig) -> Scenario {
+    let threads = sim_cfg.topology.num_threads() as u32;
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for t in 0..threads {
+        at = at.workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
+    }
+    sc.at_secs(cfg.duration_s * 0.4).preheat();
+    sc.probe("ghz", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(cfg.duration_s));
+    sc.probe("rapl", Probe::RaplW, Window::span_secs(cfg.duration_s, cfg.duration_s + 0.3));
+    sc
+}
+
+/// Reduces one SKU's [`Run`].
+fn reduce(sim_cfg: &SimConfig, sku: &str, run: &Run) -> SkuResult {
     let nominal_ghz = sim_cfg.nominal_mhz() as f64 / 1000.0;
     let cores_per_socket = sim_cfg.topology.cores_per_socket();
     let sockets = sim_cfg.topology.num_sockets();
-    let threads = sim_cfg.topology.num_threads() as u32;
-    let mut sys = System::new(sim_cfg, seed);
-    for t in 0..threads {
-        sys.set_workload(ThreadId(t), KernelClass::Firestarter, OperandWeight::HALF);
-    }
-    sys.run_for_secs(cfg.duration_s * 0.4);
-    sys.preheat();
-    sys.run_for_secs(cfg.duration_s * 0.6);
-    let equilibrium_ghz = sys.effective_core_ghz(CoreId(0));
-    let (rapl_pkg_sum, _) = sys.measure_rapl_w(0.3);
+    let equilibrium_ghz = run.ghz("ghz");
+    let (rapl_pkg_sum, _) = run.watts_pair("rapl");
     let rapl_pkg_w = rapl_pkg_sum / sockets as f64;
     SkuResult {
         sku: sku.into(),
@@ -86,16 +96,19 @@ fn run_sku(cfg: &Config, seed: u64, sim_cfg: SimConfig, sku: &str) -> SkuResult 
     }
 }
 
-/// Runs both SKUs.
+/// Runs both SKUs as one [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> ManyCoreResult {
-    let (a, b) = std::thread::scope(|scope| {
-        let a = scope
-            .spawn(|| run_sku(cfg, seeds::child(seed, 0), SimConfig::epyc_7502_2s(), "EPYC 7502"));
-        let b = scope
-            .spawn(|| run_sku(cfg, seeds::child(seed, 1), SimConfig::epyc_7742_1s(), "EPYC 7742"));
-        (a.join().expect("7502 worker"), b.join().expect("7742 worker"))
-    });
-    ManyCoreResult { epyc_7502: a, epyc_7742: b }
+    let cfg_7502 = SimConfig::epyc_7502_2s();
+    let cfg_7742 = SimConfig::epyc_7742_1s();
+    let cases = vec![
+        Case::new("EPYC 7502", cfg_7502.clone(), sku_scenario(cfg, &cfg_7502), seeds::child(seed, 0)),
+        Case::new("EPYC 7742", cfg_7742.clone(), sku_scenario(cfg, &cfg_7742), seeds::child(seed, 1)),
+    ];
+    let runs = Session::new().run(&cases).expect("manycore scenarios validate");
+    ManyCoreResult {
+        epyc_7502: reduce(&cfg_7502, "EPYC 7502", &runs[0]),
+        epyc_7742: reduce(&cfg_7742, "EPYC 7742", &runs[1]),
+    }
 }
 
 /// Renders the prediction table.

@@ -7,18 +7,27 @@
 //! the next sample it waits a random time between 0 and 10 ms. Each
 //! (initial, target) combination is measured many times; other cores sit
 //! at the minimum frequency.
+//!
+//! The whole schedule is a declarative [`Scenario`]: the random waits are
+//! pre-drawn from the seed, every switch is a recorded step, and the
+//! delays are recovered from the lo2s-style event trace via
+//! [`Probe::TraceEvents`] — the time from `FreqRequested` to the matching
+//! `FreqApplied` is exactly what the polling benchmark observes, up to
+//! its detection granularity (added as noise in the reduction).
 
 use crate::methodology_bridge::detection_noise_ns;
 use crate::report::{compare, Table};
 use crate::seeds;
 use crate::Scale;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::{mean, Histogram};
-use zen2_sim::time::{MICROSECOND, MILLISECOND};
-use zen2_sim::{SimConfig, System};
-use zen2_topology::ThreadId;
+use zen2_sim::time::{Ns, MICROSECOND, MILLISECOND};
+use zen2_sim::trace::Event;
+use zen2_sim::{Case, EventFilter, Probe, Run, Scenario, Session, SimConfig, Window};
+use zen2_topology::{CoreId, ThreadId};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -96,59 +105,86 @@ pub struct Fig3Result {
     pub plateau_cv: f64,
 }
 
-/// Runs the transition-delay experiment.
-pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seeds::child(seed, 0));
-    let topo = sys.config().topology.clone();
-    let min_mhz = sys.config().min_mhz();
+/// Settling time at the initial frequency before the first sample.
+const SETTLE_NS: Ns = 20 * MILLISECOND;
 
-    // Other cores: minimum frequency, idle. Measured core: busy loop.
-    for t in topo.all_threads().skip(2) {
-        sys.set_thread_pstate_mhz(t, min_mhz);
+/// Upper bound on any transition delay (a ≤1 ms slot wait plus the 390 µs
+/// ramp, with margin): consecutive switches are spaced at least this far
+/// apart, so every transition completes — and is visible in the trace —
+/// before the next request lands.
+const SPACING_NS: Ns = 1_500 * MICROSECOND;
+
+/// Builds the declarative benchmark schedule: other cores pinned to the
+/// minimum frequency, a busy loop on the measured core, a settle phase at
+/// the initial frequency, then `samples` down/up switch pairs separated
+/// by the paper's random waits (pre-drawn from the seed).
+pub fn scenario(cfg: &Config, seed: u64) -> Scenario {
+    let sim = SimConfig::epyc_7502_2s();
+    let min_mhz = sim.min_mhz();
+    let num_threads = sim.topology.num_threads() as u32;
+
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for t in 2..num_threads {
+        at = at.pstate(ThreadId(t), min_mhz);
     }
-    sys.set_workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF);
+    at.workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF)
+        .pstate(ThreadId(1), cfg.from_mhz)
+        .pstate(ThreadId(0), cfg.from_mhz);
 
-    let set_core_freq = |sys: &mut System, mhz: u32| {
-        let a = sys.set_thread_pstate_mhz(ThreadId(1), mhz);
-        let b = sys.set_thread_pstate_mhz(ThreadId(0), mhz);
-        b.or(a)
-    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seeds::child(seed, 1));
+    let span_us = (cfg.max_wait_ms - cfg.min_wait_ms) * 1000;
+    let mut t = SETTLE_NS;
+    for _ in 0..cfg.samples {
+        t += cfg.min_wait_ms * MILLISECOND + rng.gen_range(0..=span_us) * MICROSECOND;
+        sc.at(t).pstate(ThreadId(1), cfg.to_mhz).pstate(ThreadId(0), cfg.to_mhz);
+        t += SPACING_NS;
+        t += cfg.min_wait_ms * MILLISECOND + rng.gen_range(0..=span_us) * MICROSECOND;
+        sc.at(t).pstate(ThreadId(1), cfg.from_mhz).pstate(ThreadId(0), cfg.from_mhz);
+        t += SPACING_NS;
+    }
+    sc.probe(
+        "freq_events",
+        Probe::TraceEvents(EventFilter::Freq(CoreId(0))),
+        Window::span(0, t + MILLISECOND),
+    );
+    sc
+}
 
-    // Settle at the initial frequency.
-    set_core_freq(&mut sys, cfg.from_mhz);
-    sys.run_for_ns(20 * MILLISECOND);
-
+/// Recovers the per-direction delay distributions from the event trace.
+fn reduce(cfg: &Config, seed: u64, run: &Run) -> Fig3Result {
+    let mut noise_rng = ChaCha8Rng::seed_from_u64(seeds::child(seed, 2));
     let mut down_delays = Vec::with_capacity(cfg.samples);
     let mut up_delays = Vec::with_capacity(cfg.samples);
 
-    for _ in 0..cfg.samples {
-        // Random wait at the initial frequency.
-        let wait = cfg.min_wait_ms * MILLISECOND
-            + sys.rng().gen_range(0..=(cfg.max_wait_ms - cfg.min_wait_ms) * 1000) * MICROSECOND;
-        sys.run_for_ns(wait);
-
-        // Switch toward the target and time the performance change.
-        let t0 = sys.now_ns();
-        let pending = set_core_freq(&mut sys, cfg.to_mhz);
-        let delay = match pending {
-            Some(p) => (p.completes_at - t0) as f64 + detection_noise_ns(sys.rng()),
-            None => 0.0,
-        };
-        down_delays.push(delay / 1000.0);
-        sys.run_for_ns(pending.map(|p| p.completes_at - t0).unwrap_or(0) + MICROSECOND);
-
-        // Random wait at the target, then switch back.
-        let wait = cfg.min_wait_ms * MILLISECOND
-            + sys.rng().gen_range(0..=(cfg.max_wait_ms - cfg.min_wait_ms) * 1000) * MICROSECOND;
-        sys.run_for_ns(wait);
-        let t1 = sys.now_ns();
-        let pending = set_core_freq(&mut sys, cfg.from_mhz);
-        let delay = match pending {
-            Some(p) => (p.completes_at - t1) as f64 + detection_noise_ns(sys.rng()),
-            None => 0.0,
-        };
-        up_delays.push(delay / 1000.0);
-        sys.run_for_ns(pending.map(|p| p.completes_at - t1).unwrap_or(0) + MICROSECOND);
+    // Both siblings request at the same instant and at most one of the
+    // two requests starts a transition, so pair each applied frequency
+    // with the first same-target request since the last application.
+    let mut pending: Option<(Ns, u32)> = None;
+    for record in run.events("freq_events") {
+        match record.event {
+            Event::FreqRequested { target_mhz, .. }
+                if pending.map(|(_, mhz)| mhz) != Some(target_mhz) =>
+            {
+                pending = Some((record.at_ns, target_mhz));
+            }
+            Event::FreqApplied { mhz, .. } => {
+                let Some((requested_at, target)) = pending.take() else { continue };
+                // The settle transition into the initial frequency is not
+                // a sample.
+                if mhz != target || requested_at < SETTLE_NS {
+                    continue;
+                }
+                let delay =
+                    (record.at_ns - requested_at) as f64 + detection_noise_ns(&mut noise_rng);
+                if target == cfg.to_mhz {
+                    down_delays.push(delay / 1000.0);
+                } else {
+                    up_delays.push(delay / 1000.0);
+                }
+            }
+            _ => {}
+        }
     }
 
     let mut histogram = Histogram::new(0.0, 1500.0, 60);
@@ -178,6 +214,18 @@ pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
         histogram_counts: histogram.counts().to_vec(),
         plateau_cv,
     }
+}
+
+/// Runs the transition-delay experiment through a [`Session`].
+pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
+    let case = Case::new(
+        "fig03",
+        SimConfig::epyc_7502_2s(),
+        scenario(cfg, seed),
+        seeds::child(seed, 0),
+    );
+    let runs = Session::new().run(std::slice::from_ref(&case)).expect("fig03 scenario validates");
+    reduce(cfg, seed, &runs[0])
 }
 
 /// Renders the paper-style summary.
@@ -219,6 +267,8 @@ mod tests {
     #[test]
     fn fig3_distribution_is_uniform_390_to_1390() {
         let result = run(&Config::fig3(Scale::Quick), 7);
+        assert_eq!(result.down.delays_us.len(), Config::fig3(Scale::Quick).samples);
+        assert_eq!(result.up.delays_us.len(), Config::fig3(Scale::Quick).samples);
         assert!(result.down.min_us >= 389.0, "min {}", result.down.min_us);
         assert!(result.down.max_us <= 1393.0, "max {}", result.down.max_us);
         assert!((result.down.mean_us - 890.0).abs() < 25.0, "mean {}", result.down.mean_us);

@@ -4,14 +4,19 @@
 //! huge pages; one reading core per CCX while the other cores spin at a
 //! configured frequency. The paper reports the *minimum* over repeated
 //! runs to filter OS/hardware interference.
+//!
+//! Each of the nine cells is a declarative [`Scenario`] — the workload
+//! placement, the DVFS settle and the repeated [`Probe::L3LatencyNs`]
+//! reads are all recorded as data — and the matrix runs as one
+//! [`Session`] batch.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::time::MILLISECOND;
-use zen2_sim::{SimConfig, System};
+use zen2_sim::time::{Ns, MILLISECOND};
+use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
 use zen2_topology::{CoreId, ThreadId};
 
 /// The swept frequencies (MHz), as in Fig. 4.
@@ -53,43 +58,60 @@ pub struct Fig4Result {
     pub outlier_cell_rel_err: f64,
 }
 
-fn run_cell(cfg: &Config, seed: u64, reader_mhz: u32, others_mhz: u32) -> f64 {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
+/// DVFS settle time before the first latency read.
+const SETTLE_NS: Ns = 20 * MILLISECOND;
+
+/// Builds one cell's scenario: the reader core runs the chase, the other
+/// CCX cores run `while(1)`, and the latency is read once per repetition
+/// after the transitions settle.
+pub fn cell_scenario(cfg: &Config, reader_mhz: u32, others_mhz: u32) -> Scenario {
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
     for t in 0..8u32 {
-        // The reader runs the chase; the others run while(1).
         let class = if t < 2 { KernelClass::PointerChase } else { KernelClass::BusyWait };
-        sys.set_workload(ThreadId(t), class, OperandWeight::HALF);
-        sys.set_thread_pstate_mhz(ThreadId(t), if t < 2 { reader_mhz } else { others_mhz });
+        at = at
+            .workload(ThreadId(t), class, OperandWeight::HALF)
+            .pstate(ThreadId(t), if t < 2 { reader_mhz } else { others_mhz });
     }
-    sys.run_for_ns(20 * MILLISECOND);
-    let mut best = f64::INFINITY;
-    for _ in 0..cfg.repetitions {
-        sys.run_for_ns(MILLISECOND);
-        best = best.min(sys.l3_latency_ns(CoreId(0)));
+    for rep in 0..cfg.repetitions {
+        sc.probe(
+            format!("l3_{rep}"),
+            Probe::L3LatencyNs(CoreId(0)),
+            Window::at(SETTLE_NS + (rep as Ns + 1) * MILLISECOND),
+        );
     }
-    best
+    sc
 }
 
-/// Runs the full 3×3 matrix.
+/// Reduces one cell's [`Run`] to the paper's minimum-over-repetitions.
+fn reduce(cfg: &Config, run: &Run) -> f64 {
+    (0..cfg.repetitions)
+        .map(|rep| run.nanos(&format!("l3_{rep}")))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Runs the full 3×3 matrix as one [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> Fig4Result {
+    let mut cases = Vec::new();
+    for (i, &reader) in FREQS_MHZ.iter().enumerate() {
+        for (j, &others) in FREQS_MHZ.iter().enumerate() {
+            cases.push(Case::new(
+                format!("reader{reader}-others{others}"),
+                SimConfig::epyc_7502_2s(),
+                cell_scenario(cfg, reader, others),
+                seeds::child(seed, (i * 3 + j) as u64),
+            ));
+        }
+    }
+    let runs = Session::new().run(&cases).expect("fig04 scenarios validate");
     let mut measured = [[0.0; 3]; 3];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &reader) in FREQS_MHZ.iter().enumerate() {
-            for (j, &others) in FREQS_MHZ.iter().enumerate() {
-                let cfg = cfg.clone();
-                let cell_seed = seeds::child(seed, (i * 3 + j) as u64);
-                handles.push((i, j, scope.spawn(move || run_cell(&cfg, cell_seed, reader, others))));
-            }
-        }
-        for (i, j, h) in handles {
-            measured[i][j] = h.join().expect("cell worker panicked");
-        }
-    });
+    for (flat, run) in runs.iter().enumerate() {
+        measured[flat / 3][flat % 3] = reduce(cfg, run);
+    }
     let mut worst = 0.0f64;
-    for i in 0..3 {
-        for j in 0..3 {
-            worst = worst.max((measured[i][j] - PAPER_NS[i][j]).abs() / PAPER_NS[i][j]);
+    for (row, paper_row) in measured.iter().zip(&PAPER_NS) {
+        for (&cell, &paper) in row.iter().zip(paper_row) {
+            worst = worst.max((cell - paper).abs() / paper);
         }
     }
     let outlier = (measured[1][2] - PAPER_NS[1][2]).abs() / PAPER_NS[1][2];
@@ -104,8 +126,8 @@ pub fn render(result: &Fig4Result) -> String {
     );
     for (i, &reader) in FREQS_MHZ.iter().enumerate() {
         let mut row = vec![format!("{:.1} GHz", reader as f64 / 1000.0)];
-        for j in 0..3 {
-            row.push(format!("{:.1} / {:.1}", PAPER_NS[i][j], result.measured_ns[i][j]));
+        for (&paper, &measured) in PAPER_NS[i].iter().zip(&result.measured_ns[i]) {
+            row.push(format!("{paper:.1} / {measured:.1}"));
         }
         t.row(&row);
     }

@@ -5,12 +5,16 @@
 //! plus the "4 (2 CCX)" placement, and the Molka pointer-chase latency
 //! benchmark (prefetchers off, huge pages), swept over the BIOS I/O-die
 //! P-state and both DRAM clocks.
+//!
+//! Every swept BIOS configuration is its own `SimConfig`; the cells are
+//! declarative [`Scenario`]s observing [`Probe::StreamTriadGbs`] and
+//! [`Probe::DramLatencyNs`], executed as one [`Session`] batch.
 
 use crate::report::Table;
 use crate::seeds;
 use serde::Serialize;
 use zen2_mem::{DramFreq, IodPstate};
-use zen2_sim::{SimConfig, System};
+use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
 
 /// The core-count columns of Fig. 5a ("4 (2 CCX)" is the fifth).
 pub const CORE_COLUMNS: [u32; 5] = [1, 2, 3, 4, 4];
@@ -42,6 +46,17 @@ pub struct CellResult {
     pub latency_ns: f64,
 }
 
+/// Builds one cell's scenario: both benchmarks are pure functions of the
+/// BIOS clock plan, so everything is observed at t = 0.
+pub fn cell_scenario() -> Scenario {
+    let mut sc = Scenario::new();
+    sc.probe("lat", Probe::DramLatencyNs, Window::at(0));
+    for (col, &cores) in CORE_COLUMNS.iter().enumerate() {
+        sc.probe(format!("bw{col}"), Probe::StreamTriadGbs(cores), Window::at(0));
+    }
+    sc
+}
+
 /// Full experiment output.
 #[derive(Debug, Clone, Serialize)]
 pub struct Fig5Result {
@@ -53,48 +68,54 @@ pub struct Fig5Result {
     pub worst_lat_rel_err: f64,
 }
 
-/// Runs the full sweep (cells fan out over OS threads).
+/// Reduces one cell's [`Run`].
+fn reduce(pstate: IodPstate, dram: DramFreq, run: &Run) -> CellResult {
+    let mut bw = [0.0; 5];
+    for (col, slot) in bw.iter_mut().enumerate() {
+        *slot = run.gbs(&format!("bw{col}"));
+    }
+    CellResult {
+        pstate: pstate.to_string(),
+        dram: dram.to_string(),
+        bandwidth_gbs: bw,
+        latency_ns: run.nanos("lat"),
+    }
+}
+
+/// Runs the full sweep as one [`Session`] batch.
 pub fn run(seed: u64) -> Fig5Result {
-    let mut cells = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (pi, &pstate) in IodPstate::SWEEP.iter().enumerate() {
-            for (di, &dram) in DramFreq::SWEEP.iter().enumerate() {
-                let cell_seed = seeds::child(seed, (pi * 2 + di) as u64);
-                handles.push(scope.spawn(move || {
-                    let mut cfg = SimConfig::epyc_7502_2s();
-                    cfg.iod_pstate = pstate;
-                    cfg.dram = dram;
-                    let sys = System::new(cfg, cell_seed);
-                    let mut bw = [0.0; 5];
-                    for (col, &cores) in CORE_COLUMNS.iter().enumerate() {
-                        bw[col] = sys.stream_triad_gbs(cores);
-                    }
-                    CellResult {
-                        pstate: pstate.to_string(),
-                        dram: dram.to_string(),
-                        bandwidth_gbs: bw,
-                        latency_ns: sys.dram_latency_ns(),
-                    }
-                }));
-            }
+    let mut cases = Vec::new();
+    let mut sweep = Vec::new();
+    for (pi, &pstate) in IodPstate::SWEEP.iter().enumerate() {
+        for (di, &dram) in DramFreq::SWEEP.iter().enumerate() {
+            let mut cfg = SimConfig::epyc_7502_2s();
+            cfg.iod_pstate = pstate;
+            cfg.dram = dram;
+            cases.push(Case::new(
+                format!("{pstate}-{dram}"),
+                cfg,
+                cell_scenario(),
+                seeds::child(seed, (pi * 2 + di) as u64),
+            ));
+            sweep.push((pstate, dram));
         }
-        for h in handles {
-            cells.push(h.join().expect("cell worker panicked"));
-        }
-    });
-    // Order is preserved by the spawn order/join order above.
+    }
+    let runs = Session::new().run(&cases).expect("fig05 scenarios validate");
+    let cells: Vec<CellResult> = sweep
+        .iter()
+        .zip(&runs)
+        .map(|(&(pstate, dram), run)| reduce(pstate, dram, run))
+        .collect();
+
     let mut worst_bw = 0.0f64;
     let mut worst_lat = 0.0f64;
-    for (pi, _) in IodPstate::SWEEP.iter().enumerate() {
-        for di in 0..2 {
+    for (pi, (paper_bw_row, paper_lat_row)) in PAPER_BW.iter().zip(&PAPER_LAT).enumerate() {
+        for (di, (paper_bw, &paper_lat)) in paper_bw_row.iter().zip(paper_lat_row).enumerate() {
             let cell = &cells[pi * 2 + di];
-            for col in 0..5 {
-                let paper = PAPER_BW[pi][di][col];
-                worst_bw = worst_bw.max((cell.bandwidth_gbs[col] - paper).abs() / paper);
+            for (&measured, &paper) in cell.bandwidth_gbs.iter().zip(paper_bw) {
+                worst_bw = worst_bw.max((measured - paper).abs() / paper);
             }
-            let paper = PAPER_LAT[pi][di];
-            worst_lat = worst_lat.max((cell.latency_ns - paper).abs() / paper);
+            worst_lat = worst_lat.max((cell.latency_ns - paper_lat).abs() / paper_lat);
         }
     }
     Fig5Result { cells, worst_bw_rel_err: worst_bw, worst_lat_rel_err: worst_lat }
@@ -106,12 +127,12 @@ pub fn render(result: &Fig5Result) -> String {
         "Fig. 5a — STREAM triad bandwidth [GB/s], paper / measured",
         &["IOD P-state", "DRAM", "1 core", "2 cores", "3 cores", "4 cores", "4 (2 CCX)"],
     );
-    for (pi, _) in IodPstate::SWEEP.iter().enumerate() {
-        for di in 0..2 {
+    for (pi, paper_row) in PAPER_BW.iter().enumerate() {
+        for (di, paper_bw) in paper_row.iter().enumerate() {
             let cell = &result.cells[pi * 2 + di];
             let mut row = vec![cell.pstate.clone(), cell.dram.clone()];
-            for col in 0..5 {
-                row.push(format!("{:.1} / {:.1}", PAPER_BW[pi][di][col], cell.bandwidth_gbs[col]));
+            for (&paper, &measured) in paper_bw.iter().zip(&cell.bandwidth_gbs) {
+                row.push(format!("{paper:.1} / {measured:.1}"));
             }
             bw.row(&row);
         }

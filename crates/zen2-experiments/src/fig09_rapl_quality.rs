@@ -7,14 +7,19 @@
 //! RAPL were an accurate system-level measurement, one function would map
 //! RAPL to the reference; instead the per-workload spread exposes the
 //! model.
+//!
+//! Each grid point is a declarative [`Scenario`] (placement and pre-heat
+//! as steps, [`Probe::RaplW`] and [`Probe::AcTrueMeanW`] over the same
+//! window); the grid runs as one [`Session`] batch sharing a single
+//! booted prototype.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{SimConfig, System};
-use zen2_topology::{LogicalCpu, ThreadId};
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
 /// One experiment point.
 #[derive(Debug, Clone, Serialize)]
@@ -76,28 +81,37 @@ impl Config {
     }
 }
 
-fn measure(cfg: &Config, seed: u64, class: KernelClass, cores: usize, smt: bool, mhz: u32) -> Point {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
-    let numbering = sys.numbering().clone();
-    let threads = if smt { cores * 2 } else { cores };
+/// Pre-heat time before the measurement window opens.
+const T_MEASURE_S: f64 = 0.05;
+
+/// Builds one grid point's scenario: the placement at t = 0, the pre-heat
+/// at 50 ms, then RAPL and the AC reference over the same window.
+pub fn point_scenario(
+    cfg: &Config,
+    class: KernelClass,
+    cores: usize,
+    smt: bool,
+    mhz: u32,
+) -> Scenario {
+    let numbering = CpuNumbering::linux_default(&SimConfig::epyc_7502_2s().topology);
+    let mut sc = Scenario::new();
     if class != KernelClass::Idle {
+        let threads = if smt { cores * 2 } else { cores };
+        let mut at = sc.at(0);
         for cpu in 0..threads {
             let t = numbering.thread_of(LogicalCpu(cpu as u32));
-            sys.set_thread_pstate_mhz(t, mhz);
             let sib = ThreadId(t.0 ^ 1);
-            sys.set_thread_pstate_mhz(sib, mhz);
-            sys.set_workload(t, class, OperandWeight::HALF);
+            at = at.pstate(t, mhz).pstate(sib, mhz).workload(t, class, OperandWeight::HALF);
         }
     }
-    sys.run_for_secs(0.05);
-    sys.preheat();
-    let t0 = sys.now_ns();
-    let (rapl_pkg_w, rapl_core_w) = sys.measure_rapl_w(cfg.duration_s);
-    let ac_w = sys.trace_mean_w(t0, sys.now_ns());
-    Point { workload: class.name().into(), cores, smt, freq_mhz: mhz, ac_w, rapl_pkg_w, rapl_core_w }
+    sc.at_secs(T_MEASURE_S).preheat();
+    let window = Window::span_secs(T_MEASURE_S, T_MEASURE_S + cfg.duration_s);
+    sc.probe("rapl", Probe::RaplW, window);
+    sc.probe("ac", Probe::AcTrueMeanW, window);
+    sc
 }
 
-/// Runs the full grid (points fan out over OS threads).
+/// Runs the full grid as one [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
     let kernels = zen2_isa::WorkloadSet::paper();
     let classes: Vec<KernelClass> = kernels.rapl_quality_set().iter().map(|k| k.class).collect();
@@ -113,21 +127,35 @@ pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
             }
         }
     }
-    let mut points = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, &(class, cores, smt, mhz))| {
-                let cfg = cfg.clone();
-                let s = seeds::child(seed, i as u64);
-                scope.spawn(move || measure(&cfg, s, class, cores, smt, mhz))
-            })
-            .collect();
-        for h in handles {
-            points.push(h.join().expect("grid worker panicked"));
-        }
-    });
+    let cases: Vec<Case> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(class, cores, smt, mhz))| {
+            Case::new(
+                format!("{}-{cores}c-smt{smt}-{mhz}", class.name()),
+                SimConfig::epyc_7502_2s(),
+                point_scenario(cfg, class, cores, smt, mhz),
+                seeds::child(seed, i as u64),
+            )
+        })
+        .collect();
+    let runs = Session::new().run(&cases).expect("fig09 scenarios validate");
+    let points: Vec<Point> = jobs
+        .iter()
+        .zip(&runs)
+        .map(|(&(class, cores, smt, mhz), run)| {
+            let (rapl_pkg_w, rapl_core_w) = run.watts_pair("rapl");
+            Point {
+                workload: class.name().into(),
+                cores,
+                smt,
+                freq_mhz: mhz,
+                ac_w: run.watts("ac"),
+                rapl_pkg_w,
+                rapl_core_w,
+            }
+        })
+        .collect();
 
     // Least squares AC = a*rapl + b.
     let n = points.len() as f64;

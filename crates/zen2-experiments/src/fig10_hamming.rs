@@ -7,16 +7,24 @@
 //! ~0.1 % with strongly overlapping distributions, and only indirect
 //! (thermal) effects leak any information at all. The `shr` variant
 //! contrasts PLATYPUS: the narrow datapath barely shows even at the wall.
+//!
+//! The whole sweep is one declarative [`Scenario`]: the per-block weight
+//! sequence is pre-drawn from the seed, each block re-schedules the
+//! kernel at its weight, and every block carries its own AC
+//! ([`Probe::AcTrueMeanW`]), RAPL package ([`Probe::RaplW`]) and RAPL
+//! core-0 ([`Probe::RaplCoreW`]) windows.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::mean;
-use zen2_sim::{SimConfig, System};
-use zen2_topology::ThreadId;
+use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_topology::{CoreId, ThreadId};
 
 /// Per-weight sample sets for one metric.
 #[derive(Debug, Clone, Serialize)]
@@ -88,19 +96,49 @@ impl Config {
     }
 }
 
-/// Runs the weight sweep for one instruction kernel.
+/// Warm-up before the first block (settle + the paper's pre-heat).
+const T_BLOCKS_S: f64 = 0.1;
+
+/// Builds the weight-sweep scenario plus the pre-drawn per-block weight
+/// sequence it schedules.
+pub fn scenario(cfg: &Config, seed: u64, class: KernelClass) -> (Scenario, Vec<OperandWeight>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seeds::child(seed, 1));
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for t in 0..128u32 {
+        at = at.workload(ThreadId(t), class, OperandWeight::HALF);
+    }
+    sc.at_secs(T_BLOCKS_S).preheat();
+
+    let mut weights = Vec::with_capacity(cfg.blocks);
+    for k in 0..cfg.blocks {
+        let weight = *OperandWeight::PAPER_SWEEP
+            .choose(&mut rng)
+            .expect("non-empty weight set");
+        weights.push(weight);
+        let t0 = T_BLOCKS_S + k as f64 * cfg.block_s;
+        let mut at = sc.at_secs(t0);
+        for t in 0..128u32 {
+            at = at.workload(ThreadId(t), class, weight);
+        }
+        let window = Window::span_secs(t0, t0 + cfg.block_s);
+        sc.probe(format!("ac{k}"), Probe::AcTrueMeanW, window);
+        sc.probe(format!("pkg{k}"), Probe::RaplW, window);
+        sc.probe(format!("core0_{k}"), Probe::RaplCoreW(CoreId(0)), window);
+    }
+    (sc, weights)
+}
+
+/// Runs the weight sweep for one instruction kernel through a [`Session`].
 pub fn run(cfg: &Config, seed: u64, class: KernelClass) -> Fig10Result {
     assert!(
         matches!(class, KernelClass::VXorps | KernelClass::Shr),
         "Fig. 10 sweeps vxorps or shr"
     );
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seeds::child(seed, 0));
-    // All 128 hardware threads execute the kernel.
-    for t in 0..128u32 {
-        sys.set_workload(ThreadId(t), class, OperandWeight::HALF);
-    }
-    sys.run_for_secs(0.1);
-    sys.preheat();
+    let (sc, weights) = scenario(cfg, seed, class);
+    let case = Case::new("fig10", SimConfig::epyc_7502_2s(), sc, seeds::child(seed, 0));
+    let runs = Session::new().run(std::slice::from_ref(&case)).expect("fig10 scenario validates");
+    let run = &runs[0];
 
     let empty = WeightSamples { w0: vec![], w05: vec![], w1: vec![] };
     let mut result = Fig10Result {
@@ -109,25 +147,10 @@ pub fn run(cfg: &Config, seed: u64, class: KernelClass) -> Fig10Result {
         rapl_core0_w: empty.clone(),
         rapl_pkg_w: empty,
     };
-
-    for _ in 0..cfg.blocks {
-        let weight = *OperandWeight::PAPER_SWEEP
-            .choose(sys.rng())
-            .expect("non-empty weight set");
-        for t in 0..128u32 {
-            sys.set_workload(ThreadId(t), class, weight);
-        }
-        let t0 = sys.now_ns();
-        sys.sync_rapl_msrs();
-        let mut reader = zen2_rapl::RaplReader::new(&sys.config().topology.clone(), sys.msrs())
-            .expect("reader");
-        sys.run_for_secs(cfg.block_s);
-        sys.sync_rapl_msrs();
-        reader.poll(sys.msrs()).expect("reader poll");
-        let dt = cfg.block_s;
-        result.ac_w.push(weight, sys.trace_mean_w(t0, sys.now_ns()));
-        result.rapl_core0_w.push(weight, reader.core_joules(0) / dt);
-        result.rapl_pkg_w.push(weight, reader.package_sum_joules() / dt);
+    for (k, &weight) in weights.iter().enumerate() {
+        result.ac_w.push(weight, run.watts(&format!("ac{k}")));
+        result.rapl_core0_w.push(weight, run.watts(&format!("core0_{k}")));
+        result.rapl_pkg_w.push(weight, run.watts_pair(&format!("pkg{k}")).0);
     }
     result
 }

@@ -9,9 +9,12 @@
 //! * a `render()` producing the paper-style text table, including the
 //!   published reference values next to the measured ones.
 //!
-//! Independent configurations within a sweep fan out over OS threads
-//! (`std::thread::scope`), each with a deterministic child seed, so
-//! results are reproducible regardless of parallelism.
+//! Sweeps are expressed declaratively: each configuration is a
+//! `(SimConfig, Scenario, seed)` [`Case`](zen2_sim::Case) with a
+//! deterministic child seed, and the batch executes through a
+//! [`Session`](zen2_sim::Session) worker pool — no experiment module
+//! spawns threads itself, and results are byte-identical regardless of
+//! parallelism.
 //!
 //! | Module | Paper item |
 //! |--------|-----------|

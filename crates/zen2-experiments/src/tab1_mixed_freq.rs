@@ -5,16 +5,19 @@
 //! measure the frequency of one core, which is configured differently
 //! than other cores. We monitor each setup for 120 s and capture the
 //! frequency every second via perf stat."
+//!
+//! Each cell is a declarative [`Scenario`] — the CCX placement as steps
+//! and the perf-stat readout as a [`Probe::CounterSeries`] — and the 3×3
+//! matrix runs as one [`Session`] batch.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
-use std::thread;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::perf::ThreadCounters;
-use zen2_sim::time::MILLISECOND;
-use zen2_sim::{SimConfig, System};
+use zen2_sim::time::{from_secs, Ns, MILLISECOND};
+use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
 use zen2_topology::ThreadId;
 
 /// The swept frequencies (GHz ×1000), in the paper's order.
@@ -50,55 +53,65 @@ pub struct Tab1Result {
     pub worst_rel_err: f64,
 }
 
-/// Runs one cell: the measured core set to `set_mhz`, the other three CCX
-/// cores to `others_mhz`, all running `while(1);`.
-fn run_cell(cfg: &Config, seed: u64, set_mhz: u32, others_mhz: u32) -> f64 {
-    let mut sys = System::new(SimConfig::epyc_7502_2s(), seed);
-    // All eight threads of CCX 0 busy.
-    for t in 0..8u32 {
-        sys.set_workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
-        let mhz = if t < 2 { set_mhz } else { others_mhz };
-        sys.set_thread_pstate_mhz(ThreadId(t), mhz);
-    }
-    // Let the DVFS transitions settle before measuring.
-    sys.run_for_ns(20 * MILLISECOND);
+/// DVFS settle time before sampling starts.
+const SETTLE_NS: Ns = 20 * MILLISECOND;
 
-    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as usize;
-    let mut means = Vec::with_capacity(samples);
-    let mut before = sys.counters(ThreadId(0));
-    for _ in 0..samples {
-        sys.run_for_secs(cfg.sample_interval_s);
-        let after = sys.counters(ThreadId(0));
-        means.push(ThreadCounters::effective_ghz(&before, &after, 2.5));
-        before = after;
+/// Builds one cell's scenario: the measured core set to `set_mhz`, the
+/// other three CCX cores to `others_mhz`, all running `while(1);`, with
+/// the perf-stat frequency readout as a counter series.
+pub fn cell_scenario(cfg: &Config, set_mhz: u32, others_mhz: u32) -> Scenario {
+    let mut sc = Scenario::new();
+    let mut at = sc.at(0);
+    for t in 0..8u32 {
+        let mhz = if t < 2 { set_mhz } else { others_mhz };
+        at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF).pstate(
+            ThreadId(t),
+            mhz,
+        );
     }
+    let samples = (cfg.duration_s / cfg.sample_interval_s).round() as u64;
+    let every = from_secs(cfg.sample_interval_s);
+    sc.probe(
+        "freq",
+        Probe::CounterSeries { thread: ThreadId(0), every },
+        Window::span(SETTLE_NS, SETTLE_NS + samples * every),
+    );
+    sc
+}
+
+/// Reduces one cell's [`Run`]: mean effective frequency over the
+/// per-interval counter deltas.
+fn reduce(run: &Run) -> f64 {
+    let snaps = run.counter_series("freq");
+    let means: Vec<f64> = snaps
+        .windows(2)
+        .map(|w| ThreadCounters::effective_ghz(&w[0], &w[1], 2.5))
+        .collect();
     zen2_sim::methodology::mean(&means)
 }
 
-/// Runs the full 3×3 matrix (cells fan out over OS threads).
+/// Runs the full 3×3 matrix as one [`Session`] batch.
 pub fn run(cfg: &Config, seed: u64) -> Tab1Result {
+    let mut cases = Vec::new();
+    for (i, &set) in FREQS_MHZ.iter().enumerate() {
+        for (j, &others) in FREQS_MHZ.iter().enumerate() {
+            cases.push(Case::new(
+                format!("set{set}-others{others}"),
+                SimConfig::epyc_7502_2s(),
+                cell_scenario(cfg, set, others),
+                seeds::child(seed, (i * 3 + j) as u64),
+            ));
+        }
+    }
+    let runs = Session::new().run(&cases).expect("tab1 scenarios validate");
     let mut measured = [[0.0; 3]; 3];
-    thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &set) in FREQS_MHZ.iter().enumerate() {
-            for (j, &others) in FREQS_MHZ.iter().enumerate() {
-                let cell_seed = seeds::child(seed, (i * 3 + j) as u64);
-                let cfg = cfg.clone();
-                handles.push((
-                    i,
-                    j,
-                    scope.spawn(move || run_cell(&cfg, cell_seed, set, others)),
-                ));
-            }
-        }
-        for (i, j, h) in handles {
-            measured[i][j] = h.join().expect("cell worker panicked");
-        }
-    });
+    for (flat, run) in runs.iter().enumerate() {
+        measured[flat / 3][flat % 3] = reduce(run);
+    }
     let mut worst = 0.0f64;
-    for i in 0..3 {
-        for j in 0..3 {
-            worst = worst.max((measured[i][j] - PAPER_GHZ[i][j]).abs() / PAPER_GHZ[i][j]);
+    for (row, paper_row) in measured.iter().zip(&PAPER_GHZ) {
+        for (&cell, &paper) in row.iter().zip(paper_row) {
+            worst = worst.max((cell - paper).abs() / paper);
         }
     }
     Tab1Result { measured_ghz: measured, worst_rel_err: worst }
@@ -112,8 +125,8 @@ pub fn render(result: &Tab1Result) -> String {
     );
     for (i, &set) in FREQS_MHZ.iter().enumerate() {
         let mut row = vec![format!("{:.1} GHz", set as f64 / 1000.0)];
-        for j in 0..3 {
-            row.push(format!("{:.3} / {:.3}", PAPER_GHZ[i][j], result.measured_ghz[i][j]));
+        for (&paper, &measured) in PAPER_GHZ[i].iter().zip(&result.measured_ghz[i]) {
+            row.push(format!("{paper:.3} / {measured:.3}"));
         }
         t.row(&row);
     }
@@ -153,8 +166,8 @@ mod tests {
     #[test]
     fn diagonal_is_unperturbed() {
         let result = run(&quick(), 23);
-        for i in 0..3 {
-            let set = FREQS_MHZ[i] as f64 / 1000.0;
+        for (i, &mhz) in FREQS_MHZ.iter().enumerate() {
+            let set = mhz as f64 / 1000.0;
             assert!((result.measured_ghz[i][i] - set).abs() < 0.005);
         }
     }

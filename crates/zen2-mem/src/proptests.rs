@@ -15,7 +15,7 @@ fn arb_dram() -> impl Strategy<Value = DramFreq> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// L3 latency decreases (weakly) with both reader and mesh frequency.
     #[test]

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use zen2_topology::{ThreadId, Topology};
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     /// P-state definitions round-trip through the register encoding for
     /// every field combination.

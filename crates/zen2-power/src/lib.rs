@@ -46,7 +46,7 @@ pub use thermal::{LeakageModel, ThermalModel};
 pub use voltage::VfCurve;
 
 /// The complete calibrated power-model bundle for the paper's test system.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemPowerParams {
     /// Voltage/frequency curve shared by all cores.
     pub vf: VfCurve,

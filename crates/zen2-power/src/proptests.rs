@@ -25,7 +25,7 @@ fn arb_kernel() -> impl Strategy<Value = KernelClass> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 128 })]
 
     /// Core power is monotone in frequency along the V/f curve for every
     /// kernel, SMT mode and operand weight.

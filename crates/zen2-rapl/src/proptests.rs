@@ -8,7 +8,7 @@ use zen2_isa::{KernelClass, SmtMode, WorkloadSet};
 use zen2_msr::RaplUnits;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 96 })]
 
     /// Published counters are monotone (pre-wrap) and never ahead of the
     /// continuously integrated energy.

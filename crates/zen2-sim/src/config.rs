@@ -8,7 +8,7 @@ use zen2_rapl::RaplModel;
 use zen2_topology::Topology;
 
 /// SMU timing behavior (Section V-B calibration).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SmuParams {
     /// Period of the frequency-update slots (1 ms on Rome vs 500 µs on the
     /// Intel parts the paper compares against).
@@ -51,7 +51,7 @@ impl Default for SmuParams {
 }
 
 /// C-state timing behavior (Fig. 8 calibration).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CstateParams {
     /// Core cycles to return from C1 (clock ungating + pipeline restart):
     /// ~1 µs at 2.5 GHz, ~1.5 µs at 1.5 GHz.
@@ -93,7 +93,7 @@ impl Default for CstateParams {
 }
 
 /// OS-side behavior.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OsParams {
     /// Cycles per second an "idle" hardware thread still burns on timer
     /// interrupts — the paper observes "less than 60 000 cycle/s".
@@ -110,7 +110,7 @@ impl Default for OsParams {
 }
 
 /// Controller (PPT/EDC) behavior.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ControllerParams {
     /// Whether the telemetry throttle loop runs at all (ablation switch).
     pub enabled: bool,
@@ -132,7 +132,7 @@ impl Default for ControllerParams {
 }
 
 /// Complete simulation configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Machine shape.
     pub topology: Topology,

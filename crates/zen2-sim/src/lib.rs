@@ -65,8 +65,8 @@ pub mod wakeup;
 mod proptests;
 
 pub use config::SimConfig;
-pub use probe::{Measurement, Probe, ProbeSpec, Run, Window};
+pub use probe::{EventFilter, Measurement, Probe, ProbeSpec, Run, Window};
 pub use scenario::{Op, Scenario, ScenarioError, Step};
-pub use session::{Case, Session, SessionError};
+pub use session::{Case, Session, SessionError, SessionErrorKind};
 pub use system::System;
 pub use time::{Duration, Instant, Ns};

@@ -14,6 +14,7 @@
 use crate::perf::ThreadCounters;
 use crate::system::System;
 use crate::time::{to_secs, Ns, SECOND};
+use crate::trace::{Event, Record};
 use serde::Serialize;
 use zen2_power::MeterSample;
 use zen2_rapl::RaplReader;
@@ -104,18 +105,78 @@ pub enum Probe {
     },
     /// AC energy consumed over the window, joules. Span probe.
     AcEnergyJ,
+    /// Mean RAPL power of one core's domain over the window (the MSR
+    /// energy counter polled at 100 ms, like [`Probe::RaplW`] but for a
+    /// single core). Span probe.
+    RaplCoreW(CoreId),
+    /// Tracer events recorded within `[from, to)`, filtered. When a
+    /// scenario carries one of these, the engine enables the lo2s-style
+    /// tracer for the duration of the run (and disables it again
+    /// afterwards), so no explicit `tracing(true)` step is needed. Span
+    /// probe.
+    TraceEvents(EventFilter),
     /// Effective (post-coupling) frequency of a core, GHz. Instant probe.
     EffectiveGhz(CoreId),
     /// Instantaneous true AC power, W. Instant probe.
     AcPowerW,
     /// Instantaneous true package power of one socket, W. Instant probe.
     PkgTrueW(SocketId),
+    /// Pointer-chase L3 hit latency of a reader core under the current
+    /// CCX clocks, ns (Fig. 4 benchmark). Instant probe.
+    L3LatencyNs(CoreId),
+    /// Pointer-chase DRAM latency under the configured I/O-die P-state
+    /// and DRAM clock, ns (Fig. 5b benchmark). Instant probe.
+    DramLatencyNs,
+    /// STREAM-triad bandwidth for this many streaming cores on one CCD,
+    /// GB/s (Fig. 5a benchmark). The count must be between 1 and the
+    /// machine's core count. Instant probe.
+    StreamTriadGbs(u32),
 }
 
 impl Probe {
     /// Whether this probe observes an instant rather than a span.
     pub fn is_instant(&self) -> bool {
-        matches!(self, Probe::EffectiveGhz(_) | Probe::AcPowerW | Probe::PkgTrueW(_))
+        matches!(
+            self,
+            Probe::EffectiveGhz(_)
+                | Probe::AcPowerW
+                | Probe::PkgTrueW(_)
+                | Probe::L3LatencyNs(_)
+                | Probe::DramLatencyNs
+                | Probe::StreamTriadGbs(_)
+        )
+    }
+}
+
+/// Which recorded tracer events a [`Probe::TraceEvents`] collects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum EventFilter {
+    /// Every recorded event.
+    All,
+    /// DVFS requests and applications of one core.
+    Freq(CoreId),
+    /// Scheduling-state changes of one thread.
+    ThreadState(ThreadId),
+    /// PC6 entries/exits of one socket.
+    PackageSleep(SocketId),
+    /// Throttle-cap movements of one socket.
+    CapChanged(SocketId),
+}
+
+impl EventFilter {
+    /// Whether a recorded event passes this filter.
+    pub fn matches(&self, event: &Event) -> bool {
+        match (*self, event) {
+            (Self::All, _) => true,
+            (
+                Self::Freq(core),
+                Event::FreqRequested { core: c, .. } | Event::FreqApplied { core: c, .. },
+            ) => *c == core,
+            (Self::ThreadState(thread), Event::ThreadState { thread: t, .. }) => *t == thread,
+            (Self::PackageSleep(socket), Event::PackageSleep { socket: s, .. }) => *s == socket,
+            (Self::CapChanged(socket), Event::CapChanged { socket: s, .. }) => *s == socket,
+            _ => false,
+        }
     }
 }
 
@@ -148,7 +209,7 @@ impl ProbeSpec {
             Probe::WakeupSamples { count, gap, .. } => {
                 (1..=count as u64).map(|k| self.window.from + k * gap).collect()
             }
-            Probe::RaplW => {
+            Probe::RaplW | Probe::RaplCoreW(_) => {
                 let len = self.window.to - self.window.from;
                 let steps = rapl_poll_steps(len);
                 // u128: `len * k` can exceed u64 for very long windows.
@@ -202,6 +263,12 @@ pub enum Measurement {
     Ghz(f64),
     /// An energy, J.
     Joules(f64),
+    /// A latency, ns.
+    Nanos(f64),
+    /// A bandwidth, GB/s.
+    GigabytesPerSec(f64),
+    /// Recorded tracer events (machine-absolute timestamps).
+    Events(Vec<Record>),
 }
 
 /// The complete result of executing one `(SimConfig, Scenario, seed)`
@@ -291,6 +358,30 @@ impl Run {
             other => panic!("{label:?} is {other:?}, not Samples"),
         }
     }
+
+    /// A `Nanos` measurement by label.
+    pub fn nanos(&self, label: &str) -> f64 {
+        match self.get(label) {
+            Measurement::Nanos(n) => *n,
+            other => panic!("{label:?} is {other:?}, not Nanos"),
+        }
+    }
+
+    /// A `GigabytesPerSec` measurement by label.
+    pub fn gbs(&self, label: &str) -> f64 {
+        match self.get(label) {
+            Measurement::GigabytesPerSec(b) => *b,
+            other => panic!("{label:?} is {other:?}, not GigabytesPerSec"),
+        }
+    }
+
+    /// An `Events` measurement by label.
+    pub fn events(&self, label: &str) -> &[Record] {
+        match self.get(label) {
+            Measurement::Events(e) => e,
+            other => panic!("{label:?} is {other:?}, not Events"),
+        }
+    }
 }
 
 /// An open RAPL measurement window: reader plus bookkeeping, shared by
@@ -321,6 +412,13 @@ impl RaplWindow {
         let dt = to_secs(sys.now_ns() - self.from);
         assert!(dt > 0.0, "RAPL window must have positive length");
         (self.reader.package_sum_joules() / dt, self.reader.core_sum_joules() / dt)
+    }
+
+    /// Closes the window, returning one core domain's mean power in watts.
+    pub(crate) fn finish_core(self, sys: &System, core: CoreId) -> f64 {
+        let dt = to_secs(sys.now_ns() - self.from);
+        assert!(dt > 0.0, "RAPL window must have positive length");
+        self.reader.core_joules(core.index()) / dt
     }
 }
 

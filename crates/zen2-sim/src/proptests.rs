@@ -16,7 +16,7 @@ fn arb_freq() -> impl Strategy<Value = u32> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 64 })]
 
     /// Whatever request sequence arrives, the SMU eventually applies the
     /// *last* request and leaves nothing pending.

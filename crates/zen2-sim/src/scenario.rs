@@ -20,7 +20,9 @@
 
 use crate::config::SimConfig;
 use crate::perf::ThreadCounters;
-use crate::probe::{Measurement, Probe, ProbeSpec, RaplWindow, Run, Window, MAX_WINDOW_NS};
+use crate::probe::{
+    EventFilter, Measurement, Probe, ProbeSpec, RaplWindow, Run, Window, MAX_WINDOW_NS,
+};
 use crate::system::System;
 use crate::time::{from_secs, to_secs, Ns};
 use serde::Serialize;
@@ -384,19 +386,43 @@ impl Scenario {
                         }
                     }
                 }
-                Probe::EffectiveGhz(core) => {
-                    if core.0 >= num_cores {
-                        return Err(ScenarioError::CoreOutOfRange { core: core.0, num_cores });
-                    }
+                Probe::EffectiveGhz(core) | Probe::RaplCoreW(core) | Probe::L3LatencyNs(core)
+                    if core.0 >= num_cores =>
+                {
+                    return Err(ScenarioError::CoreOutOfRange { core: core.0, num_cores });
                 }
-                Probe::PkgTrueW(socket) => {
-                    if socket.0 >= num_sockets {
-                        return Err(ScenarioError::SocketOutOfRange {
-                            socket: socket.0,
-                            num_sockets,
-                        });
-                    }
+                Probe::PkgTrueW(socket) if socket.0 >= num_sockets => {
+                    return Err(ScenarioError::SocketOutOfRange {
+                        socket: socket.0,
+                        num_sockets,
+                    });
                 }
+                Probe::StreamTriadGbs(0) => {
+                    return Err(ScenarioError::ZeroInterval { label: spec.label.clone() });
+                }
+                Probe::StreamTriadGbs(cores) if cores > num_cores => {
+                    return Err(ScenarioError::CoreOutOfRange { core: cores, num_cores });
+                }
+                Probe::TraceEvents(filter) => match filter {
+                    EventFilter::Freq(core) => {
+                        if core.0 >= num_cores {
+                            return Err(ScenarioError::CoreOutOfRange {
+                                core: core.0,
+                                num_cores,
+                            });
+                        }
+                    }
+                    EventFilter::ThreadState(thread) => check_thread(thread)?,
+                    EventFilter::PackageSleep(socket) | EventFilter::CapChanged(socket) => {
+                        if socket.0 >= num_sockets {
+                            return Err(ScenarioError::SocketOutOfRange {
+                                socket: socket.0,
+                                num_sockets,
+                            });
+                        }
+                    }
+                    EventFilter::All => {}
+                },
                 _ => {}
             }
         }
@@ -638,6 +664,17 @@ impl System {
     pub(crate) fn run_scenario_prechecked(&mut self, scenario: &Scenario) -> Run {
         let offset = self.now_ns();
 
+        // A trace probe needs the tracer running for the whole scenario;
+        // enable it up front so authors don't have to schedule an explicit
+        // `tracing(true)` step (which remains available for finer control).
+        // The implicit enable is undone at the end of the run, so a reused
+        // machine does not keep recording (and growing) forever.
+        let auto_tracing = !self.tracer().is_enabled()
+            && scenario.probes().iter().any(|s| matches!(s.probe, Probe::TraceEvents(_)));
+        if auto_tracing {
+            self.set_tracing(true);
+        }
+
         // Every scenario-relative instant the engine must stop at.
         let mut breakpoints: BTreeSet<Ns> = BTreeSet::new();
         for step in scenario.steps() {
@@ -683,7 +720,10 @@ impl System {
                     (Probe::CounterSeries { thread, .. }, ProbeState::SeriesOpen { snaps }) => {
                         snaps.push(self.counters(*thread));
                     }
-                    (Probe::RaplW, ProbeState::RaplOpen { window }) => {
+                    (
+                        Probe::RaplW | Probe::RaplCoreW(_),
+                        ProbeState::RaplOpen { window },
+                    ) => {
                         window.poll(self);
                     }
                     (
@@ -717,6 +757,16 @@ impl System {
                         let (pkg_w, core_w) = window.finish(self);
                         Measurement::WattsPair { pkg_w, core_w }
                     }
+                    (Probe::RaplCoreW(core), ProbeState::RaplOpen { window }) => {
+                        Measurement::Watts(window.finish_core(self, *core))
+                    }
+                    (Probe::TraceEvents(filter), ProbeState::SpanOpen) => Measurement::Events(
+                        self.tracer()
+                            .in_window(from, to)
+                            .filter(|r| filter.matches(&r.event))
+                            .cloned()
+                            .collect(),
+                    ),
                     (Probe::CounterDelta(thread), ProbeState::CounterOpen { begin }) => {
                         Measurement::CounterDelta {
                             begin,
@@ -739,6 +789,15 @@ impl System {
                     (Probe::AcPowerW, ProbeState::Idle) => Measurement::Watts(self.ac_power_w()),
                     (Probe::PkgTrueW(socket), ProbeState::Idle) => {
                         Measurement::Watts(self.power_breakdown().pkg_true_w[socket.index()])
+                    }
+                    (Probe::L3LatencyNs(core), ProbeState::Idle) => {
+                        Measurement::Nanos(self.l3_latency_ns(*core))
+                    }
+                    (Probe::DramLatencyNs, ProbeState::Idle) => {
+                        Measurement::Nanos(self.dram_latency_ns())
+                    }
+                    (Probe::StreamTriadGbs(cores), ProbeState::Idle) => {
+                        Measurement::GigabytesPerSec(self.stream_triad_gbs(*cores))
                     }
                     (probe, _) => {
                         unreachable!("probe {probe:?} ({:?}) closed from a foreign state", spec.label)
@@ -779,7 +838,9 @@ impl System {
                     Probe::CounterSeries { thread, .. } => {
                         ProbeState::SeriesOpen { snaps: vec![self.counters(thread)] }
                     }
-                    Probe::RaplW => ProbeState::RaplOpen { window: RaplWindow::open(self) },
+                    Probe::RaplW | Probe::RaplCoreW(_) => {
+                        ProbeState::RaplOpen { window: RaplWindow::open(self) }
+                    }
                     Probe::WakeupSamples { .. } => ProbeState::WakeupOpen { samples: Vec::new() },
                     Probe::AcEnergyJ => ProbeState::EnergyOpen { start_j: self.ac_energy_j() },
                     _ => ProbeState::SpanOpen,
@@ -796,6 +857,10 @@ impl System {
                 _ => unreachable!("probe {:?} never closed", spec.label),
             })
             .collect();
+
+        if auto_tracing {
+            self.set_tracing(false);
+        }
 
         Run {
             seed: self.seed(),

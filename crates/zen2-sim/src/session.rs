@@ -7,7 +7,14 @@
 //! forked from one booted prototype per distinct configuration
 //! ([`System::fork`]), so the boot cost (MSR file construction, workload
 //! registry, thermal settling) is paid once per configuration instead of
-//! once per case.
+//! once per case. Configurations are compared structurally
+//! (`SimConfig: PartialEq`), so two configs can never share a prototype
+//! unless they are actually equal.
+//!
+//! A case that panics mid-simulation does not take the batch down with
+//! it: the panic is caught on the worker, attributed to its case, and
+//! surfaced as a [`SessionError`] while every other case still runs to
+//! completion.
 //!
 //! ```
 //! use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
@@ -26,8 +33,8 @@ use crate::config::SimConfig;
 use crate::probe::Run;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::system::System;
-use std::collections::HashMap;
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -96,41 +103,61 @@ impl Session {
     /// pool. Results come back in case order and are a pure function of
     /// each `(config, scenario, seed)` triple.
     pub fn run(&self, cases: &[Case]) -> Result<Vec<Run>, SessionError> {
+        self.run_with(cases, |sys, case| sys.run_scenario_prechecked(&case.scenario))
+    }
+
+    /// [`run`](Self::run) with an injectable per-case executor, so the
+    /// panic-containment machinery is testable without a scenario that
+    /// slips past validation only to explode at runtime.
+    fn run_with(
+        &self,
+        cases: &[Case],
+        execute: impl Fn(&mut System, &Case) -> Run + Sync,
+    ) -> Result<Vec<Run>, SessionError> {
         for case in cases {
             case.scenario.validate(&case.config).map_err(|error| SessionError {
                 case: case.label.clone(),
-                error,
+                kind: SessionErrorKind::InvalidScenario(error),
             })?;
         }
 
         // One booted prototype per configuration that is actually shared
         // (booting a prototype for a config used once would cost more
-        // than it saves). `SimConfig` carries only plain data, so its
-        // Debug rendering is a faithful identity key; render it once per
-        // case, not per dispatch.
-        let mut prototypes: HashMap<String, System> = HashMap::new();
-        let mut keys: Vec<String> = Vec::new();
+        // than it saves). Identity is structural equality, never a
+        // rendered key that semantically different configs could collide
+        // on.
+        let mut distinct: Vec<&SimConfig> = Vec::new();
+        let keys: Vec<usize> = cases
+            .iter()
+            .map(|case| {
+                distinct.iter().position(|c| **c == case.config).unwrap_or_else(|| {
+                    distinct.push(&case.config);
+                    distinct.len() - 1
+                })
+            })
+            .collect();
+        let mut prototypes: Vec<Option<System>> = (0..distinct.len()).map(|_| None).collect();
         if self.reuse_boots {
-            keys = cases.iter().map(|case| format!("{:?}", case.config)).collect();
-            let mut occurrences: HashMap<&str, usize> = HashMap::new();
-            for key in &keys {
-                *occurrences.entry(key).or_insert(0) += 1;
+            let mut uses = vec![0usize; distinct.len()];
+            for &k in &keys {
+                uses[k] += 1;
             }
-            for (case, key) in cases.iter().zip(&keys) {
-                if occurrences[key.as_str()] > 1 && !prototypes.contains_key(key) {
-                    prototypes.insert(key.clone(), System::new(case.config.clone(), 0));
+            for ((slot, &cfg), &n) in prototypes.iter_mut().zip(&distinct).zip(&uses) {
+                if n > 1 {
+                    *slot = Some(System::new(cfg.clone(), 0));
                 }
             }
         }
 
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Run>>> =
+        let results: Vec<Mutex<Option<Result<Run, String>>>> =
             cases.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.workers.min(cases.len()).max(1);
         let prototypes = &prototypes;
         let keys_ref = &keys;
         let results_ref = &results;
         let next_ref = &next;
+        let execute_ref = &execute;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -140,41 +167,189 @@ impl Session {
                         break;
                     }
                     let case = &cases[i];
-                    let mut sys = match keys_ref.get(i).and_then(|k| prototypes.get(k)) {
-                        Some(proto) => proto.fork(case.seed),
-                        None => System::new(case.config.clone(), case.seed),
+                    // Contain a panicking case: record it against slot `i`
+                    // and keep the worker alive for the remaining cases,
+                    // instead of letting the unwind cross the scope and
+                    // cascade into unrelated cases.
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let mut sys = match prototypes[keys_ref[i]].as_ref() {
+                            Some(proto) => proto.fork(case.seed),
+                            None => System::new(case.config.clone(), case.seed),
+                        };
+                        execute_ref(&mut sys, case)
+                    }))
+                    .map_err(|payload| panic_text(payload.as_ref()));
+                    // Nothing here can poison the slot (the fallible work
+                    // all sits inside the catch above), but stay robust.
+                    let mut slot = match results_ref[i].lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
                     };
-                    // The batch was validated up front; skip the re-check.
-                    let run = sys.run_scenario_prechecked(&case.scenario);
-                    *results_ref[i].lock().expect("result slot poisoned") = Some(run);
+                    *slot = Some(outcome);
                 });
             }
         });
 
-        Ok(results
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every claimed case stores its run")
-            })
-            .collect())
+        let mut runs = Vec::with_capacity(cases.len());
+        for (case, slot) in cases.iter().zip(results) {
+            let outcome = match slot.into_inner() {
+                Ok(value) => value,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match outcome.expect("every claimed case stores its outcome") {
+                Ok(run) => runs.push(run),
+                Err(panic) => {
+                    return Err(SessionError {
+                        case: case.label.clone(),
+                        kind: SessionErrorKind::WorkerPanicked(panic),
+                    })
+                }
+            }
+        }
+        Ok(runs)
     }
 }
 
-/// A validation failure, attributed to its case.
+/// Renders a caught panic payload (the first panicking case's, in case
+/// order) for [`SessionErrorKind::WorkerPanicked`].
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A batch failure, attributed to its case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionError {
     /// The offending case's label.
     pub case: String,
-    /// The underlying scenario error.
-    pub error: ScenarioError,
+    /// What went wrong.
+    pub kind: SessionErrorKind,
+}
+
+/// Why a [`Session`] batch failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionErrorKind {
+    /// The case's scenario failed validation; nothing was simulated.
+    InvalidScenario(ScenarioError),
+    /// The case panicked mid-simulation (an engine bug, not a scenario
+    /// authoring error); the other cases still ran to completion.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "case {:?}: {}", self.case, self.error)
+        match &self.kind {
+            SessionErrorKind::InvalidScenario(error) => {
+                write!(f, "case {:?}: {}", self.case, error)
+            }
+            SessionErrorKind::WorkerPanicked(message) => {
+                write!(f, "case {:?}: worker panicked: {}", self.case, message)
+            }
+        }
     }
 }
 
-impl std::error::Error for SessionError {}
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            SessionErrorKind::InvalidScenario(error) => Some(error),
+            SessionErrorKind::WorkerPanicked(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{Probe, Window};
+
+    /// A scenario cheap enough for the containment tests: one instant
+    /// read at t = 0.
+    fn instant_scenario() -> Scenario {
+        let mut sc = Scenario::new();
+        sc.probe("ac", Probe::AcPowerW, Window::at(0));
+        sc
+    }
+
+    fn cases(labels: &[&str]) -> Vec<Case> {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Case::new(*l, SimConfig::epyc_7502_2s(), instant_scenario(), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn sim_config_identity_is_structural() {
+        let a = SimConfig::epyc_7502_2s();
+        let b = a.clone();
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.controller.deadband_w += 1.0;
+        assert_ne!(a, c, "semantically different configs must not compare equal");
+        assert_ne!(a, SimConfig::epyc_7502_1s());
+    }
+
+    #[test]
+    fn worker_panic_is_attributed_not_cascaded() {
+        let batch = cases(&["a", "boom", "c", "d"]);
+        let err = Session::new()
+            .workers(2)
+            .run_with(&batch, |sys, case| {
+                if case.label == "boom" {
+                    panic!("kaboom in {}", case.label);
+                }
+                sys.run_scenario_prechecked(&case.scenario)
+            })
+            .unwrap_err();
+        assert_eq!(err.case, "boom", "the panic must name its own case");
+        match err.kind {
+            SessionErrorKind::WorkerPanicked(ref message) => {
+                assert!(message.contains("kaboom in boom"), "payload preserved: {message}")
+            }
+            ref other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_panicking_case_in_case_order_wins() {
+        // Whichever worker panics first on the wall clock, the error is
+        // attributed deterministically: the earliest case in batch order.
+        let batch = cases(&["a", "boom1", "boom2", "d"]);
+        for workers in [1, 3] {
+            let err = Session::new()
+                .workers(workers)
+                .run_with(&batch, |sys, case| {
+                    if case.label.starts_with("boom") {
+                        panic!("{} fell over", case.label);
+                    }
+                    sys.run_scenario_prechecked(&case.scenario)
+                })
+                .unwrap_err();
+            assert_eq!(err.case, "boom1");
+        }
+    }
+
+    #[test]
+    fn panicking_batch_still_runs_the_other_cases() {
+        // Observable through the executor: every non-panicking case is
+        // still executed even though one case blew up.
+        let executed = Mutex::new(Vec::new());
+        let batch = cases(&["a", "boom", "c", "d"]);
+        let _ = Session::new().workers(2).run_with(&batch, |sys, case| {
+            if case.label == "boom" {
+                panic!("down");
+            }
+            executed.lock().unwrap().push(case.label.clone());
+            sys.run_scenario_prechecked(&case.scenario)
+        });
+        let mut ran = executed.into_inner().unwrap();
+        ran.sort();
+        assert_eq!(ran, ["a", "c", "d"]);
+    }
+}

@@ -220,8 +220,7 @@ impl Smu {
     pub fn advance(&mut self, now: Ns) -> Vec<CompletedTransition> {
         let mut completed = Vec::new();
         for idx in 0..self.cores.len() {
-            loop {
-                let Some(p) = self.cores[idx].pending else { break };
+            while let Some(p) = self.cores[idx].pending {
                 if p.completes_at > now {
                     break;
                 }

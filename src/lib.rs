@@ -65,8 +65,8 @@ pub mod prelude {
     pub use zen2_isa::{KernelClass, OperandWeight, SmtMode};
     pub use zen2_mem::{DramFreq, IodPstate};
     pub use zen2_sim::{
-        Case, Measurement, Probe, Run, Scenario, ScenarioError, Session, SimConfig, System,
-        Window,
+        Case, EventFilter, Measurement, Probe, Run, Scenario, ScenarioError, Session,
+        SessionError, SessionErrorKind, SimConfig, System, Window,
     };
     pub use zen2_topology::{CoreId, LogicalCpu, SocketId, ThreadId, Topology};
 }

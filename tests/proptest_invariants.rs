@@ -62,7 +62,7 @@ fn apply(sys: &mut System, action: &Action) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     /// AC power stays within the physical envelope of this machine for
     /// every reachable state, and energy only ever increases.

@@ -36,6 +36,13 @@ fn rich_scenario() -> Scenario {
     sc.probe("energy", Probe::AcEnergyJ, Window::span_secs(0.0, 0.4));
     sc.probe("ghz", Probe::EffectiveGhz(CoreId(0)), Window::at_secs(0.4));
     sc.probe("pkg", Probe::PkgTrueW(SocketId(0)), Window::at_secs(0.4));
+    sc.probe("rapl_core0", Probe::RaplCoreW(CoreId(0)), Window::span_secs(0.05, 0.35));
+    sc.probe("l3", Probe::L3LatencyNs(CoreId(0)), Window::at_secs(0.4));
+    sc.probe(
+        "events",
+        Probe::TraceEvents(EventFilter::PackageSleep(SocketId(0))),
+        Window::span_secs(0.0, 0.4),
+    );
     sc
 }
 
@@ -195,6 +202,15 @@ fn validation_rejects_bad_scenarios_before_simulating() {
     );
     assert!(dense.validate(&cfg).is_err());
 
+    // Streaming-core counts outside [1, machine cores] are rejected (a
+    // huge count would wrap the bandwidth model's i32 exponent).
+    let mut zero_cores = Scenario::new();
+    zero_cores.probe("bw", Probe::StreamTriadGbs(0), Window::at(0));
+    assert!(zero_cores.validate(&cfg).is_err());
+    let mut too_many_cores = Scenario::new();
+    too_many_cores.probe("bw", Probe::StreamTriadGbs(3_000_000_000), Window::at(0));
+    assert!(too_many_cores.validate(&cfg).is_err());
+
     // ...but a callee that goes back to sleep before the window is fine.
     let mut sleeps_again = Scenario::new();
     sleeps_again.at(0).workload(ThreadId(2), KernelClass::BusyWait, OperandWeight::HALF);
@@ -211,4 +227,110 @@ fn validation_rejects_bad_scenarios_before_simulating() {
         .run(&[Case::new("broken", cfg, bad_thread, 1)])
         .unwrap_err();
     assert_eq!(err.case, "broken");
+    assert!(matches!(err.kind, SessionErrorKind::InvalidScenario(_)));
+}
+
+#[test]
+fn inverted_windows_are_rejected_for_every_probe_family() {
+    // `Window::span`/`span_secs` happily construct a backwards window;
+    // validation must reject it before it can reach probe evaluation as
+    // a negative duration.
+    let cfg = SimConfig::epyc_7502_2s();
+    let probes = [
+        Probe::AcTrueMeanW,
+        Probe::AcMeteredW,
+        Probe::MeterSamples,
+        Probe::RaplW,
+        Probe::RaplCoreW(CoreId(0)),
+        Probe::CounterDelta(ThreadId(0)),
+        Probe::AcEnergyJ,
+        Probe::TraceEvents(EventFilter::All),
+    ];
+    for probe in probes {
+        let mut sc = Scenario::new();
+        sc.probe("w", probe, Window::span(100, 50));
+        assert!(
+            matches!(sc.validate(&cfg), Err(ScenarioError::NegativeWindow { .. })),
+            "{probe:?} must reject an inverted window"
+        );
+        let mut sc = Scenario::new();
+        sc.probe("w", probe, Window::span_secs(0.25, 0.05));
+        assert!(sc.validate(&cfg).is_err(), "{probe:?} must reject inverted seconds");
+        // ...and the rejection carries the case label through a Session.
+        let mut sc = Scenario::new();
+        sc.probe("w", probe, Window::span(100, 50));
+        let err = Session::new()
+            .run(&[Case::new("inverted", cfg.clone(), sc, 1)])
+            .unwrap_err();
+        assert_eq!(err.case, "inverted");
+    }
+}
+
+#[test]
+fn mixed_config_batches_never_share_prototypes_across_configs() {
+    // Prototype reuse is keyed by structural config identity: a batch
+    // mixing two configurations must produce exactly what the same cases
+    // produce when booted cold, and what each config's own batch
+    // produces.
+    let sc = rich_scenario();
+    let two_socket = SimConfig::epyc_7502_2s();
+    let mut tweaked = two_socket.clone();
+    tweaked.power.platform_dc_w += 5.0;
+    assert_ne!(two_socket, tweaked);
+    let batch = vec![
+        Case::new("a0", two_socket.clone(), sc.clone(), 1),
+        Case::new("b0", tweaked.clone(), sc.clone(), 1),
+        Case::new("a1", two_socket.clone(), sc.clone(), 2),
+        Case::new("b1", tweaked.clone(), sc.clone(), 2),
+    ];
+    let mixed = Session::new().workers(2).run(&batch).unwrap();
+    let cold = Session::new().workers(2).reuse_boots(false).run(&batch).unwrap();
+    assert_eq!(mixed, cold);
+    // The two configs genuinely behave differently, so sharing a booted
+    // prototype across them would have been observable.
+    assert_ne!(mixed[0].measurements, mixed[1].measurements);
+}
+
+/// One newly ported experiment scenario per family (transition, memory,
+/// RAPL, mixed-frequency): byte-identical [`Run`]s across worker counts.
+#[test]
+fn ported_experiment_scenarios_are_worker_count_invariant() {
+    use zen2_ee::experiments as e;
+
+    let transition = e::fig03_transition::scenario(
+        &e::fig03_transition::Config {
+            samples: 30,
+            ..e::fig03_transition::Config::fig3(e::Scale::Quick)
+        },
+        99,
+    );
+    let memory = e::fig05_membw::cell_scenario();
+    let rapl = e::fig09_rapl_quality::point_scenario(
+        &e::fig09_rapl_quality::Config {
+            duration_s: 0.2,
+            placements: vec![(8, false)],
+            freqs_mhz: vec![2200],
+        },
+        KernelClass::AddPd,
+        8,
+        false,
+        2200,
+    );
+    let mixed_freq = e::tab1_mixed_freq::cell_scenario(
+        &e::tab1_mixed_freq::Config { duration_s: 0.2, sample_interval_s: 0.1 },
+        2200,
+        2500,
+    );
+    let batch = vec![
+        Case::new("transition", SimConfig::epyc_7502_2s(), transition, 1),
+        Case::new("memory", SimConfig::epyc_7502_2s(), memory, 2),
+        Case::new("rapl", SimConfig::epyc_7502_2s(), rapl, 3),
+        Case::new("mixed-freq", SimConfig::epyc_7502_2s(), mixed_freq, 4),
+    ];
+    let serial = Session::new().workers(1).run(&batch).unwrap();
+    let parallel = Session::new().workers(3).run(&batch).unwrap();
+    let oversubscribed = Session::new().workers(16).run(&batch).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, oversubscribed);
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
 }
