@@ -68,9 +68,8 @@ impl Criterion {
             let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
             f(&mut bencher);
             per_iter = bencher.elapsed.max(Duration::from_nanos(1)) / iters as u32;
-            let batch_target = (self.measurement_time / self.sample_size as u32).max(
-                Duration::from_micros(50),
-            );
+            let batch_target =
+                (self.measurement_time / self.sample_size as u32).max(Duration::from_micros(50));
             if bencher.elapsed < batch_target {
                 iters = iters.saturating_mul(2);
             } else {

@@ -25,31 +25,46 @@ fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_sim_cost_100ms_firestarter");
     let variants: Vec<ConfigVariant> = vec![
         ("baseline", Box::new(SimConfig::epyc_7502_2s)),
-        ("no_ccx_coupling", Box::new(|| {
-            let mut c = SimConfig::epyc_7502_2s();
-            c.ccx_coupling = false;
-            c
-        })),
-        ("no_throttle_controller", Box::new(|| {
-            let mut c = SimConfig::epyc_7502_2s();
-            c.controller.enabled = false;
-            c
-        })),
-        ("no_smu_fast_path", Box::new(|| {
-            let mut c = SimConfig::epyc_7502_2s();
-            c.smu.fast_path_enabled = false;
-            c
-        })),
-        ("intel_like_500us_slots", Box::new(|| {
-            let mut c = SimConfig::epyc_7502_2s();
-            c.smu.slot_period_ns = 500_000;
-            c
-        })),
-        ("per_package_c6", Box::new(|| {
-            let mut c = SimConfig::epyc_7502_2s();
-            c.global_package_c6 = false;
-            c
-        })),
+        (
+            "no_ccx_coupling",
+            Box::new(|| {
+                let mut c = SimConfig::epyc_7502_2s();
+                c.ccx_coupling = false;
+                c
+            }),
+        ),
+        (
+            "no_throttle_controller",
+            Box::new(|| {
+                let mut c = SimConfig::epyc_7502_2s();
+                c.controller.enabled = false;
+                c
+            }),
+        ),
+        (
+            "no_smu_fast_path",
+            Box::new(|| {
+                let mut c = SimConfig::epyc_7502_2s();
+                c.smu.fast_path_enabled = false;
+                c
+            }),
+        ),
+        (
+            "intel_like_500us_slots",
+            Box::new(|| {
+                let mut c = SimConfig::epyc_7502_2s();
+                c.smu.slot_period_ns = 500_000;
+                c
+            }),
+        ),
+        (
+            "per_package_c6",
+            Box::new(|| {
+                let mut c = SimConfig::epyc_7502_2s();
+                c.global_package_c6 = false;
+                c
+            }),
+        ),
     ];
     for (name, make) in variants {
         group.bench_function(name, |b| {

@@ -13,7 +13,10 @@ fn bench_fig01(c: &mut Criterion) {
 }
 
 fn bench_fig03(c: &mut Criterion) {
-    let cfg = e::fig03_transition::Config { samples: 200, ..e::fig03_transition::Config::fig3(e::Scale::Quick) };
+    let cfg = e::fig03_transition::Config {
+        samples: 200,
+        ..e::fig03_transition::Config::fig3(e::Scale::Quick)
+    };
     c.bench_function("fig03_transition_200_samples", |b| {
         b.iter(|| e::fig03_transition::run(&cfg, 1))
     });
@@ -34,7 +37,8 @@ fn bench_fig05(c: &mut Criterion) {
 }
 
 fn bench_fig06(c: &mut Criterion) {
-    let cfg = e::fig06_firestarter::Config { duration_s: 0.4, sample_interval_s: 0.2, boost: false };
+    let cfg =
+        e::fig06_firestarter::Config { duration_s: 0.4, sample_interval_s: 0.2, boost: false };
     c.bench_function("fig06_firestarter_both_modes", |b| {
         b.iter(|| e::fig06_firestarter::run(&cfg, 5))
     });
@@ -46,7 +50,9 @@ fn bench_fig07(c: &mut Criterion) {
         thread_counts: vec![1, 64, 128],
         freqs_mhz: vec![2500],
     };
-    c.bench_function("fig07_idle_power_staircase", |b| b.iter(|| e::fig07_idle_power::run(&cfg, 6)));
+    c.bench_function("fig07_idle_power_staircase", |b| {
+        b.iter(|| e::fig07_idle_power::run(&cfg, 6))
+    });
 }
 
 fn bench_fig08(c: &mut Criterion) {
@@ -78,7 +84,10 @@ fn bench_sections(c: &mut Criterion) {
 }
 
 fn configured() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
 }
 
 criterion_group! {

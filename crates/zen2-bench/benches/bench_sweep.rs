@@ -1,0 +1,142 @@
+//! Sweep-engine scaling: streaming (`Session::run_streaming` over a lazy
+//! `Sweep`) against materialized (`Session::run` over the collected case
+//! vector) in cases/second terms, plus a one-shot report of peak case
+//! residency at grids of 10^3–10^5 cases.
+//!
+//! The streaming path's selling points are bounded memory (at most
+//! `workers × shard_size` cases resident, vs the whole grid) and
+//! pipelined delivery; the timed loops check it gives that up without
+//! losing throughput.
+
+use criterion::{criterion_group, Criterion};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::stats::OnlineStats;
+use zen2_sim::time::MICROSECOND;
+use zen2_sim::{Axis, Case, Probe, Session, SimConfig, Sweep, Window};
+use zen2_topology::ThreadId;
+
+/// A representative grid: load levels × repetitions, one instantaneous
+/// power read per case shortly after the load lands.
+fn grid(cases: usize) -> Sweep {
+    let levels = 8usize;
+    let mut base = zen2_sim::Scenario::new();
+    base.probe("ac", Probe::AcPowerW, Window::at(20 * MICROSECOND));
+    let mut load = Axis::new("busy_threads");
+    for n in 1..=levels as u32 {
+        load = load.with(format!("{n}"), move |draft| {
+            let mut at = draft.scenario.at(0);
+            for t in 0..n {
+                at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
+            }
+        });
+    }
+    Sweep::new("bench", SimConfig::epyc_7502_2s())
+        .scenario(base)
+        .seed(1)
+        .axis(load)
+        .axis(Axis::param("rep", (0..cases / levels).map(|r| r as f64)))
+}
+
+const WORKERS: usize = 4;
+const SHARD: usize = 16;
+
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    for cases in [1_000usize, 10_000] {
+        let sweep = grid(cases);
+        assert_eq!(sweep.len(), cases);
+        let session = Session::new().workers(WORKERS).shard_size(SHARD);
+
+        c.bench_function(&format!("sweep_{cases}cases_streaming"), |b| {
+            b.iter(|| {
+                let mut stats = OnlineStats::new();
+                let n = session
+                    .run_streaming(sweep.cases(), |_, run| stats.push(run.watts("ac")))
+                    .expect("sweep validates");
+                black_box((n, stats))
+            })
+        });
+
+        c.bench_function(&format!("sweep_{cases}cases_materialized"), |b| {
+            b.iter(|| {
+                let materialized: Vec<Case> = sweep.cases().collect();
+                let runs = session.run(&materialized).expect("sweep validates");
+                let mut stats = OnlineStats::new();
+                for run in &runs {
+                    stats.push(run.watts("ac"));
+                }
+                black_box(stats)
+            })
+        });
+    }
+}
+
+/// One-shot (not statistically sampled — a 10^5-case grid is too slow to
+/// repeat) report: wall time and peak resident cases for both execution
+/// styles across three grid magnitudes.
+fn residency_report() {
+    println!("\n# peak case residency (workers={WORKERS}, shard_size={SHARD})");
+    println!(
+        "{:>9} {:>12} {:>14} {:>12} {:>14}",
+        "cases", "stream [s]", "stream peak", "mat [s]", "mat peak"
+    );
+    for cases in [1_000usize, 10_000, 100_000] {
+        let sweep = grid(cases);
+        let session = Session::new().workers(WORKERS).shard_size(SHARD);
+
+        let created = Cell::new(0usize);
+        let delivered = Cell::new(0usize);
+        let peak = Cell::new(0usize);
+        let start = Instant::now();
+        session
+            .run_streaming(
+                sweep.cases().inspect(|_| {
+                    created.set(created.get() + 1);
+                    peak.set(peak.get().max(created.get() - delivered.get()));
+                }),
+                |_, run| {
+                    delivered.set(delivered.get() + 1);
+                    black_box(run.watts("ac"));
+                },
+            )
+            .expect("sweep validates");
+        let stream_s = start.elapsed().as_secs_f64();
+        let stream_peak = peak.get();
+        assert!(stream_peak <= WORKERS * SHARD);
+
+        let start = Instant::now();
+        let materialized: Vec<Case> = sweep.cases().collect();
+        let runs = session.run(&materialized).expect("sweep validates");
+        black_box(&runs);
+        let mat_s = start.elapsed().as_secs_f64();
+
+        println!(
+            "{:>9} {:>12.2} {:>14} {:>12.2} {:>14}",
+            cases,
+            stream_s,
+            stream_peak,
+            mat_s,
+            materialized.len()
+        );
+    }
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = sweep;
+    config = configured();
+    targets = bench_streaming_vs_materialized
+}
+
+fn main() {
+    sweep();
+    residency_report();
+}

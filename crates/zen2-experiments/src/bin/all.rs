@@ -8,20 +8,68 @@ fn main() {
     let scale = Scale::from_args();
     println!("=== zen2-ee: full experiment suite ({scale:?} scale) ===\n");
     print!("{}", e::fig01_green500::render(&e::fig01_green500::run()));
-    print!("{}", e::fig03_transition::render(&e::fig03_transition::run(&e::fig03_transition::Config::fig3(scale), 1)));
-    print!("{}", e::tab1_mixed_freq::render(&e::tab1_mixed_freq::run(&e::tab1_mixed_freq::Config::new(scale), 2)));
-    print!("{}", e::fig04_l3_latency::render(&e::fig04_l3_latency::run(&e::fig04_l3_latency::Config::new(scale), 3)));
+    print!(
+        "{}",
+        e::fig03_transition::render(&e::fig03_transition::run(
+            &e::fig03_transition::Config::fig3(scale),
+            1
+        ))
+    );
+    print!(
+        "{}",
+        e::tab1_mixed_freq::render(&e::tab1_mixed_freq::run(
+            &e::tab1_mixed_freq::Config::new(scale),
+            2
+        ))
+    );
+    print!(
+        "{}",
+        e::fig04_l3_latency::render(&e::fig04_l3_latency::run(
+            &e::fig04_l3_latency::Config::new(scale),
+            3
+        ))
+    );
     print!("{}", e::fig05_membw::render(&e::fig05_membw::run(4)));
-    print!("{}", e::fig06_firestarter::render(&e::fig06_firestarter::run(&e::fig06_firestarter::Config::new(scale), 5)));
-    print!("{}", e::fig07_idle_power::render(&e::fig07_idle_power::run(&e::fig07_idle_power::Config::new(scale), 6)));
-    print!("{}", e::fig08_wakeup::render(&e::fig08_wakeup::run(&e::fig08_wakeup::Config::new(scale), 7)));
-    print!("{}", e::fig09_rapl_quality::render(&e::fig09_rapl_quality::run(&e::fig09_rapl_quality::Config::new(scale), 8)));
+    print!(
+        "{}",
+        e::fig06_firestarter::render(&e::fig06_firestarter::run(
+            &e::fig06_firestarter::Config::new(scale),
+            5
+        ))
+    );
+    print!(
+        "{}",
+        e::fig07_idle_power::render(&e::fig07_idle_power::run(
+            &e::fig07_idle_power::Config::new(scale),
+            6
+        ))
+    );
+    print!(
+        "{}",
+        e::fig08_wakeup::render(&e::fig08_wakeup::run(&e::fig08_wakeup::Config::new(scale), 7))
+    );
+    print!(
+        "{}",
+        e::fig09_rapl_quality::render(&e::fig09_rapl_quality::run(
+            &e::fig09_rapl_quality::Config::new(scale),
+            8
+        ))
+    );
     let f10 = e::fig10_hamming::Config::new(scale);
     print!("{}", e::fig10_hamming::render(&e::fig10_hamming::run(&f10, 9, KernelClass::VXorps)));
     print!("{}", e::fig10_hamming::render(&e::fig10_hamming::run(&f10, 10, KernelClass::Shr)));
     print!("{}", e::sec5a_sibling::render(&e::sec5a_sibling::run(11)));
     print!("{}", e::sec6b_offline::render(&e::sec6b_offline::run(12)));
-    print!("{}", e::sec7_update_rate::render(&e::sec7_update_rate::run(&e::sec7_update_rate::Config::default(), 13)));
-    print!("{}", e::ext_manycore::render(&e::ext_manycore::run(&e::ext_manycore::Config::new(scale), 14)));
+    print!(
+        "{}",
+        e::sec7_update_rate::render(&e::sec7_update_rate::run(
+            &e::sec7_update_rate::Config::default(),
+            13
+        ))
+    );
+    print!(
+        "{}",
+        e::ext_manycore::render(&e::ext_manycore::run(&e::ext_manycore::Config::new(scale), 14))
+    );
     print!("{}", e::ext_cstate_breakeven::render(&e::ext_cstate_breakeven::run(15)));
 }

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 1 (Green500 efficiency by architecture).
 fn main() {
-    print!("{}", zen2_experiments::fig01_green500::render(&zen2_experiments::fig01_green500::run()));
+    print!(
+        "{}",
+        zen2_experiments::fig01_green500::render(&zen2_experiments::fig01_green500::run())
+    );
 }

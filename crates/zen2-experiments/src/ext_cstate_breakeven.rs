@@ -100,7 +100,13 @@ pub fn run(seed: u64) -> BreakEvenResult {
 pub fn render(r: &BreakEvenResult) -> String {
     let mut t = Table::new(
         "Extension — informed C-state break-even (what the ACPI tables cannot tell the governor)",
-        &["freq [GHz]", "C1 exit [us]", "C2 exit [us]", "break-even [us]", "ACPI-table break-even [us]"],
+        &[
+            "freq [GHz]",
+            "C1 exit [us]",
+            "C2 exit [us]",
+            "break-even [us]",
+            "ACPI-table break-even [us]",
+        ],
     );
     for row in &r.rows {
         t.row(&[

@@ -8,15 +8,14 @@
 //! single-socket EPYC 7742 (64 cores behind one I/O die, 225 W-class PPT)
 //! and compares the throttle depth against the EPYC 7502 baseline. The
 //! paper publishes no numbers for this — the results here are *model
-//! predictions*, clearly labeled as such. Both SKUs are declarative
-//! [`Scenario`]s run as one [`Session`] batch.
+//! predictions*, clearly labeled as such. The SKU grid is a declarative
+//! [`Sweep`] streamed through the [`Session`] worker pool.
 
 use crate::report::Table;
-use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
+use zen2_sim::{Axis, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
 use zen2_topology::{CoreId, ThreadId};
 
 /// One SKU's throttling result.
@@ -96,27 +95,56 @@ fn reduce(sim_cfg: &SimConfig, sku: &str, run: &Run) -> SkuResult {
     }
 }
 
-/// Runs both SKUs as one [`Session`] batch.
+/// The SKU grid as a declarative [`Sweep`]: one axis swapping both the
+/// machine configuration and its matching scenario.
+pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
+    let skus = [SimConfig::epyc_7502_2s(), SimConfig::epyc_7742_1s()];
+    let mut axis = Axis::new("sku");
+    for (label, sim_cfg) in ["EPYC 7502", "EPYC 7742"].into_iter().zip(skus) {
+        let scenario = sku_scenario(cfg, &sim_cfg);
+        axis = axis.with(label, move |draft| {
+            draft.config = sim_cfg.clone();
+            draft.scenario = scenario.clone();
+        });
+    }
+    Sweep::new("manycore", SimConfig::epyc_7502_2s()).seed(seed).axis(axis)
+}
+
+/// Runs both SKUs through the streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64) -> ManyCoreResult {
-    let cfg_7502 = SimConfig::epyc_7502_2s();
-    let cfg_7742 = SimConfig::epyc_7742_1s();
-    let cases = vec![
-        Case::new("EPYC 7502", cfg_7502.clone(), sku_scenario(cfg, &cfg_7502), seeds::child(seed, 0)),
-        Case::new("EPYC 7742", cfg_7742.clone(), sku_scenario(cfg, &cfg_7742), seeds::child(seed, 1)),
-    ];
-    let runs = Session::new().run(&cases).expect("manycore scenarios validate");
+    let sweep = sweep(cfg, seed);
+    let mut runs: Vec<Run> = Vec::with_capacity(sweep.len());
+    sweep.stream(&Session::new(), |_, run| runs.push(run)).expect("manycore scenarios validate");
     ManyCoreResult {
-        epyc_7502: reduce(&cfg_7502, "EPYC 7502", &runs[0]),
-        epyc_7742: reduce(&cfg_7742, "EPYC 7742", &runs[1]),
+        epyc_7502: reduce(&SimConfig::epyc_7502_2s(), "EPYC 7502", &runs[0]),
+        epyc_7742: reduce(&SimConfig::epyc_7742_1s(), "EPYC 7742", &runs[1]),
     }
 }
 
 /// Renders the prediction table.
 pub fn render(r: &ManyCoreResult) -> String {
+    let t = table(r);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "prediction: the 64-core part throttles {:.1}x deeper than the 32-core part\n",
+        r.epyc_7742.throttle_depth / r.epyc_7502.throttle_depth
+    ));
+    out
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn table(r: &ManyCoreResult) -> Table {
     let mut t = Table::new(
         "Extension — many-core throttling prediction (paper SS VIII future work; \
          7742 numbers are model predictions, not paper measurements)",
-        &["SKU", "cores", "nominal [GHz]", "FIRESTARTER eq. [GHz]", "throttle depth", "W/core budget"],
+        &[
+            "SKU",
+            "cores",
+            "nominal [GHz]",
+            "FIRESTARTER eq. [GHz]",
+            "throttle depth",
+            "W/core budget",
+        ],
     );
     for s in [&r.epyc_7502, &r.epyc_7742] {
         t.row(&[
@@ -128,12 +156,7 @@ pub fn render(r: &ManyCoreResult) -> String {
             format!("{:.2}", s.per_core_budget_w),
         ]);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
-        "prediction: the 64-core part throttles {:.1}x deeper than the 32-core part\n",
-        r.epyc_7742.throttle_depth / r.epyc_7502.throttle_depth
-    ));
-    out
+    t
 }
 
 #[cfg(test)]
@@ -142,6 +165,39 @@ mod tests {
 
     fn quick() -> Config {
         Config { duration_s: 0.4 }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the same cases built
+        // by hand (as the module did before the sweep engine) and run
+        // materialized produce byte-identical paper-comparison output.
+        use zen2_sim::{sweep::child_seed, Case};
+        let cfg = quick();
+        let seed = 131;
+        let cfg_7502 = SimConfig::epyc_7502_2s();
+        let cfg_7742 = SimConfig::epyc_7742_1s();
+        let cases = vec![
+            Case::new(
+                "EPYC 7502",
+                cfg_7502.clone(),
+                sku_scenario(&cfg, &cfg_7502),
+                child_seed(seed, 0),
+            ),
+            Case::new(
+                "EPYC 7742",
+                cfg_7742.clone(),
+                sku_scenario(&cfg, &cfg_7742),
+                child_seed(seed, 1),
+            ),
+        ];
+        let runs = Session::new().run(&cases).unwrap();
+        let materialized = ManyCoreResult {
+            epyc_7502: reduce(&cfg_7502, "EPYC 7502", &runs[0]),
+            epyc_7742: reduce(&cfg_7742, "EPYC 7742", &runs[1]),
+        };
+        assert_eq!(render(&run(&cfg, seed)), render(&materialized));
+        assert_eq!(table(&run(&cfg, seed)).to_json(), table(&materialized).to_json());
     }
 
     #[test]

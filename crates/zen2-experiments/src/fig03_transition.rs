@@ -205,11 +205,7 @@ fn reduce(cfg: &Config, seed: u64, run: &Run) -> Fig3Result {
     };
 
     Fig3Result {
-        down: direction(
-            format!("{} -> {} MHz", cfg.from_mhz, cfg.to_mhz),
-            &down_delays,
-            350.0,
-        ),
+        down: direction(format!("{} -> {} MHz", cfg.from_mhz, cfg.to_mhz), &down_delays, 350.0),
         up: direction(format!("{} -> {} MHz", cfg.to_mhz, cfg.from_mhz), &up_delays, 5.0),
         histogram_counts: histogram.counts().to_vec(),
         plateau_cv,
@@ -218,12 +214,8 @@ fn reduce(cfg: &Config, seed: u64, run: &Run) -> Fig3Result {
 
 /// Runs the transition-delay experiment through a [`Session`].
 pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
-    let case = Case::new(
-        "fig03",
-        SimConfig::epyc_7502_2s(),
-        scenario(cfg, seed),
-        seeds::child(seed, 0),
-    );
+    let case =
+        Case::new("fig03", SimConfig::epyc_7502_2s(), scenario(cfg, seed), seeds::child(seed, 0));
     let runs = Session::new().run(std::slice::from_ref(&case)).expect("fig03 scenario validates");
     reduce(cfg, seed, &runs[0])
 }

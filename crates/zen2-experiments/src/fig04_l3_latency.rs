@@ -24,8 +24,7 @@ pub const FREQS_MHZ: [u32; 3] = [1500, 2200, 2500];
 
 /// Paper Fig. 4 reference latencies in ns: rows = reading-core frequency,
 /// columns = frequency of the remaining cores.
-pub const PAPER_NS: [[f64; 3]; 3] =
-    [[25.2, 22.0, 21.2], [17.2, 17.2, 17.2], [15.2, 15.2, 15.2]];
+pub const PAPER_NS: [[f64; 3]; 3] = [[25.2, 22.0, 21.2], [17.2, 17.2, 17.2], [15.2, 15.2, 15.2]];
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -85,9 +84,7 @@ pub fn cell_scenario(cfg: &Config, reader_mhz: u32, others_mhz: u32) -> Scenario
 
 /// Reduces one cell's [`Run`] to the paper's minimum-over-repetitions.
 fn reduce(cfg: &Config, run: &Run) -> f64 {
-    (0..cfg.repetitions)
-        .map(|rep| run.nanos(&format!("l3_{rep}")))
-        .fold(f64::INFINITY, f64::min)
+    (0..cfg.repetitions).map(|rep| run.nanos(&format!("l3_{rep}"))).fold(f64::INFINITY, f64::min)
 }
 
 /// Runs the full 3×3 matrix as one [`Session`] batch.

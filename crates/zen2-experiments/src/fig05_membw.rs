@@ -101,11 +101,8 @@ pub fn run(seed: u64) -> Fig5Result {
         }
     }
     let runs = Session::new().run(&cases).expect("fig05 scenarios validate");
-    let cells: Vec<CellResult> = sweep
-        .iter()
-        .zip(&runs)
-        .map(|(&(pstate, dram), run)| reduce(pstate, dram, run))
-        .collect();
+    let cells: Vec<CellResult> =
+        sweep.iter().zip(&runs).map(|(&(pstate, dram), run)| reduce(pstate, dram, run)).collect();
 
     let mut worst_bw = 0.0f64;
     let mut worst_lat = 0.0f64;

@@ -159,10 +159,7 @@ pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
         Case::new("no-smt", sim_cfg, scenario(cfg, false), seeds::child(seed, 1)),
     ];
     let runs = Session::new().run(&cases).expect("fig06 scenarios validate");
-    Fig6Result {
-        smt: reduce(&runs[0], true),
-        no_smt: reduce(&runs[1], false),
-    }
+    Fig6Result { smt: reduce(&runs[0], true), no_smt: reduce(&runs[1], false) }
 }
 
 /// Renders the paper-style comparison.

@@ -152,10 +152,8 @@ pub fn run(cfg: &Config, seed: u64) -> Fig7Result {
     let mut curves = Vec::new();
     let mut next = 1;
     for &kind in &kinds {
-        let ac_w: Vec<f64> = runs[next..next + cfg.thread_counts.len()]
-            .iter()
-            .map(|r| r.watts(AC))
-            .collect();
+        let ac_w: Vec<f64> =
+            runs[next..next + cfg.thread_counts.len()].iter().map(|r| r.watts(AC)).collect();
         next += cfg.thread_counts.len();
         curves.push(Curve { kind, thread_counts: cfg.thread_counts.clone(), ac_w });
     }
@@ -185,10 +183,11 @@ pub fn render(result: &Fig7Result) -> String {
         "per additional C1 core [W]".into(),
         format!("{:.2} / {:.3}", paper::PER_C1_CORE_W, slope_c1),
     ]);
-    if let Some(active) =
-        result.curves.iter().find(|c| c.kind == SweepKind::ActivePause(2500))
-    {
-        t.row(&["first active thread [W]".into(), compare(paper::FIRST_ACTIVE_W, active.ac_w[0], "")]);
+    if let Some(active) = result.curves.iter().find(|c| c.kind == SweepKind::ActivePause(2500)) {
+        t.row(&[
+            "first active thread [W]".into(),
+            compare(paper::FIRST_ACTIVE_W, active.ac_w[0], ""),
+        ]);
     }
     let mut out = t.render();
     let mut curves = Table::new(

@@ -168,11 +168,8 @@ pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
 
     let residual = |p: &Point| p.ac_w - (slope * p.rapl_pkg_w + intercept);
     let worst = points.iter().map(|p| residual(p).abs()).fold(0.0, f64::max);
-    let memory: Vec<f64> = points
-        .iter()
-        .filter(|p| p.workload.starts_with("memory"))
-        .map(residual)
-        .collect();
+    let memory: Vec<f64> =
+        points.iter().filter(|p| p.workload.starts_with("memory")).map(residual).collect();
     let memory_residual =
         if memory.is_empty() { 0.0 } else { memory.iter().sum::<f64>() / memory.len() as f64 };
 

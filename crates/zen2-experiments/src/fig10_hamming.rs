@@ -112,9 +112,7 @@ pub fn scenario(cfg: &Config, seed: u64, class: KernelClass) -> (Scenario, Vec<O
 
     let mut weights = Vec::with_capacity(cfg.blocks);
     for k in 0..cfg.blocks {
-        let weight = *OperandWeight::PAPER_SWEEP
-            .choose(&mut rng)
-            .expect("non-empty weight set");
+        let weight = *OperandWeight::PAPER_SWEEP.choose(&mut rng).expect("non-empty weight set");
         weights.push(weight);
         let t0 = T_BLOCKS_S + k as f64 * cfg.block_s;
         let mut at = sc.at_secs(t0);

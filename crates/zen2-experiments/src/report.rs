@@ -73,12 +73,62 @@ impl Table {
                 s.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
         out
     }
+
+    /// Writes the table as JSON: `{"title", "headers", "rows"}` with
+    /// rows as objects keyed by header, so large-grid sweep summaries
+    /// are machine-readable without a CSV parser.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"title\":{},\"headers\":[", json_escape(&self.title));
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{}{}", if i > 0 { "," } else { "" }, json_escape(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (c, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{}:{}",
+                    if c > 0 { "," } else { "" },
+                    json_escape(header),
+                    json_escape(cell)
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Renders a string as a JSON string literal (quotes included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Formats a paper-vs-measured pair with the relative deviation.
@@ -112,6 +162,28 @@ mod tests {
         assert!(s.contains("## demo"));
         assert!(s.contains("| longer |"));
         assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn json_rows_are_keyed_by_header() {
+        let mut t = Table::new("demo", &["sku", "value"]);
+        t.row(&["EPYC 7502".into(), "1.5".into()]);
+        t.row(&["quote\"comma,".into(), "2".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"demo\",\"headers\":[\"sku\",\"value\"],\"rows\":[\
+             {\"sku\":\"EPYC 7502\",\"value\":\"1.5\"},\
+             {\"sku\":\"quote\\\"comma,\",\"value\":\"2\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let mut t = Table::new("t\n\t", &["a"]);
+        t.row(&["\u{1}".into()]);
+        let json = t.to_json();
+        assert!(json.contains("\"t\\n\\t\""));
+        assert!(json.contains("\\u0001"));
     }
 
     #[test]

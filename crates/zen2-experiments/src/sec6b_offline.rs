@@ -56,7 +56,11 @@ fn sequence_scenario(threads: &[ThreadId]) -> Scenario {
     for &t in threads {
         at = at.online(t, true);
     }
-    sc.probe("reonline", Probe::AcTrueMeanW, Window::span_secs(2.0 * phase + SETTLE_S, 3.0 * phase));
+    sc.probe(
+        "reonline",
+        Probe::AcTrueMeanW,
+        Window::span_secs(2.0 * phase + SETTLE_S, 3.0 * phase),
+    );
     sc
 }
 

@@ -1,24 +1,14 @@
 //! Deterministic seed derivation for parallel sweeps.
 //!
 //! Each configuration in a fan-out gets `child(root, index)`, so results
-//! are independent of thread scheduling and stable across runs.
-
-/// SplitMix64 step — the standard seed-sequence generator.
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+//! are independent of thread scheduling and stable across runs. The
+//! derivation is [`zen2_sim::sweep::child_seed`] — the same one the
+//! sweep engine uses by default — so a hand-built fan-out and a
+//! [`Sweep`](zen2_sim::Sweep) over the same root produce the same seeds.
 
 /// The `index`-th child seed of a root seed.
 pub fn child(root: u64, index: u64) -> u64 {
-    let mut state = root ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
-    let mut out = splitmix64(&mut state);
-    // One extra round decorrelates adjacent indices thoroughly.
-    out ^= splitmix64(&mut state);
-    out
+    zen2_sim::sweep::child_seed(root, index)
 }
 
 #[cfg(test)]

@@ -8,16 +8,16 @@
 //!
 //! Each cell is a declarative [`Scenario`] — the CCX placement as steps
 //! and the perf-stat readout as a [`Probe::CounterSeries`] — and the 3×3
-//! matrix runs as one [`Session`] batch.
+//! matrix is a two-axis [`Sweep`] streamed through the [`Session`]
+//! worker pool.
 
 use crate::report::Table;
-use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::perf::ThreadCounters;
 use zen2_sim::time::{from_secs, Ns, MILLISECOND};
-use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
+use zen2_sim::{Axis, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
 use zen2_topology::ThreadId;
 
 /// The swept frequencies (GHz ×1000), in the paper's order.
@@ -64,10 +64,9 @@ pub fn cell_scenario(cfg: &Config, set_mhz: u32, others_mhz: u32) -> Scenario {
     let mut at = sc.at(0);
     for t in 0..8u32 {
         let mhz = if t < 2 { set_mhz } else { others_mhz };
-        at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF).pstate(
-            ThreadId(t),
-            mhz,
-        );
+        at = at
+            .workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF)
+            .pstate(ThreadId(t), mhz);
     }
     let samples = (cfg.duration_s / cfg.sample_interval_s).round() as u64;
     let every = from_secs(cfg.sample_interval_s);
@@ -83,31 +82,33 @@ pub fn cell_scenario(cfg: &Config, set_mhz: u32, others_mhz: u32) -> Scenario {
 /// per-interval counter deltas.
 fn reduce(run: &Run) -> f64 {
     let snaps = run.counter_series("freq");
-    let means: Vec<f64> = snaps
-        .windows(2)
-        .map(|w| ThreadCounters::effective_ghz(&w[0], &w[1], 2.5))
-        .collect();
+    let means: Vec<f64> =
+        snaps.windows(2).map(|w| ThreadCounters::effective_ghz(&w[0], &w[1], 2.5)).collect();
     zen2_sim::methodology::mean(&means)
 }
 
-/// Runs the full 3×3 matrix as one [`Session`] batch.
+/// The 3×3 matrix as a declarative [`Sweep`]: one parameter axis per
+/// Table I dimension (measured core's set frequency outermost, like the
+/// paper's rows), with the joint cell scenario built in the finish hook.
+pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
+    let freqs = FREQS_MHZ.map(|mhz| mhz as f64);
+    let cfg = cfg.clone();
+    Sweep::new("tab1", SimConfig::epyc_7502_2s())
+        .seed(seed)
+        .axis(Axis::param("set", freqs))
+        .axis(Axis::param("others", freqs))
+        .finish(move |draft| {
+            draft.scenario =
+                cell_scenario(&cfg, draft.param("set") as u32, draft.param("others") as u32);
+        })
+}
+
+/// Runs the full 3×3 matrix through the streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64) -> Tab1Result {
-    let mut cases = Vec::new();
-    for (i, &set) in FREQS_MHZ.iter().enumerate() {
-        for (j, &others) in FREQS_MHZ.iter().enumerate() {
-            cases.push(Case::new(
-                format!("set{set}-others{others}"),
-                SimConfig::epyc_7502_2s(),
-                cell_scenario(cfg, set, others),
-                seeds::child(seed, (i * 3 + j) as u64),
-            ));
-        }
-    }
-    let runs = Session::new().run(&cases).expect("tab1 scenarios validate");
     let mut measured = [[0.0; 3]; 3];
-    for (flat, run) in runs.iter().enumerate() {
-        measured[flat / 3][flat % 3] = reduce(run);
-    }
+    sweep(cfg, seed)
+        .stream(&Session::new(), |flat, run| measured[flat / 3][flat % 3] = reduce(&run))
+        .expect("tab1 scenarios validate");
     let mut worst = 0.0f64;
     for (row, paper_row) in measured.iter().zip(&PAPER_GHZ) {
         for (&cell, &paper) in row.iter().zip(paper_row) {
@@ -119,6 +120,13 @@ pub fn run(cfg: &Config, seed: u64) -> Tab1Result {
 
 /// Renders the paper-style table (paper value / measured value per cell).
 pub fn render(result: &Tab1Result) -> String {
+    let mut out = table(result).render();
+    out.push_str(&format!("worst relative deviation: {:.2}%\n", result.worst_rel_err * 100.0));
+    out
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn table(result: &Tab1Result) -> Table {
     let mut t = Table::new(
         "Table I — applied mean core frequencies [GHz], paper / measured",
         &["set freq \\ others", "1.5 GHz", "2.2 GHz", "2.5 GHz"],
@@ -130,9 +138,7 @@ pub fn render(result: &Tab1Result) -> String {
         }
         t.row(&row);
     }
-    let mut out = t.render();
-    out.push_str(&format!("worst relative deviation: {:.2}%\n", result.worst_rel_err * 100.0));
-    out
+    t
 }
 
 /// The mesh-coupling observation in one number: how much a 2.2 GHz core
@@ -147,6 +153,42 @@ mod tests {
 
     fn quick() -> Config {
         Config { duration_s: 0.3, sample_interval_s: 0.1 }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the 3×3 grid built by
+        // hand (as the module did before the sweep engine) and run
+        // materialized produces a byte-identical Table I rendering.
+        use zen2_sim::{sweep::child_seed, Case};
+        let cfg = quick();
+        let seed = 21;
+        let mut cases = Vec::new();
+        for (i, &set) in FREQS_MHZ.iter().enumerate() {
+            for (j, &others) in FREQS_MHZ.iter().enumerate() {
+                cases.push(Case::new(
+                    format!("set{set}-others{others}"),
+                    SimConfig::epyc_7502_2s(),
+                    cell_scenario(&cfg, set, others),
+                    child_seed(seed, (i * 3 + j) as u64),
+                ));
+            }
+        }
+        let runs = Session::new().run(&cases).unwrap();
+        let mut measured = [[0.0; 3]; 3];
+        for (flat, r) in runs.iter().enumerate() {
+            measured[flat / 3][flat % 3] = reduce(r);
+        }
+        let streamed = run(&cfg, seed);
+        assert_eq!(streamed.measured_ghz, measured);
+        let mut worst = 0.0f64;
+        for (row, paper_row) in measured.iter().zip(&PAPER_GHZ) {
+            for (&cell, &paper) in row.iter().zip(paper_row) {
+                worst = worst.max((cell - paper).abs() / paper);
+            }
+        }
+        let materialized = Tab1Result { measured_ghz: measured, worst_rel_err: worst };
+        assert_eq!(render(&streamed), render(&materialized));
     }
 
     #[test]

@@ -143,7 +143,8 @@ impl Kernel {
         match mode {
             SmtMode::Single => self.activity,
             SmtMode::Both => {
-                let ratio = if self.ipc_single > 0.0 { self.ipc_smt / self.ipc_single } else { 1.0 };
+                let ratio =
+                    if self.ipc_single > 0.0 { self.ipc_smt / self.ipc_single } else { 1.0 };
                 self.activity.scaled(ratio)
             }
         }

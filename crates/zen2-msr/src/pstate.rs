@@ -60,7 +60,10 @@ impl PstateDef {
     /// Panics if the frequency is not a positive multiple of 25 MHz
     /// representable in the FID field, or the voltage is outside SVI2 range.
     pub fn for_frequency(freq_mhz: u32, voltage_v: f64) -> Self {
-        assert!(freq_mhz > 0 && freq_mhz.is_multiple_of(25), "{freq_mhz} MHz is not a 25 MHz multiple");
+        assert!(
+            freq_mhz > 0 && freq_mhz.is_multiple_of(25),
+            "{freq_mhz} MHz is not a 25 MHz multiple"
+        );
         let fid = freq_mhz / 25;
         assert!(fid <= 0xFF, "{freq_mhz} MHz does not fit in CpuFid at DID=8");
         assert!(
@@ -257,8 +260,7 @@ mod tests {
 
     #[test]
     fn idd_field_scaling() {
-        let def =
-            PstateDef { fid: 100, did: 8, vid: 88, idd_value: 15, idd_div: 1, enabled: true };
+        let def = PstateDef { fid: 100, did: 8, vid: 88, idd_value: 15, idd_div: 1, enabled: true };
         assert!((def.idd_amps() - 1.5).abs() < 1e-9);
         let decoded = PstateDef::decode(def.encode());
         assert_eq!(decoded.idd_value, 15);

@@ -30,12 +30,7 @@ impl Default for DramPowerModel {
 impl DramPowerModel {
     /// One DIMM per channel on both sockets (the paper's configuration).
     pub fn sixteen_dimms() -> Self {
-        Self {
-            dimms: 16,
-            self_refresh_w_per_dimm: 0.75,
-            standby_w_per_dimm: 1.25,
-            w_per_gbs: 0.23,
-        }
+        Self { dimms: 16, self_refresh_w_per_dimm: 0.75, standby_w_per_dimm: 1.25, w_per_gbs: 0.23 }
     }
 
     /// Total DIMM power with all packages in PC6.

@@ -62,8 +62,9 @@ impl RaplReader {
         let mut pkg_trackers = Vec::with_capacity(topology.num_sockets());
         let mut pkg_lead_thread = Vec::with_capacity(topology.num_sockets());
         for socket in topology.all_sockets() {
-            let lead = ThreadId((socket.0 as usize * topology.cores_per_socket() * threads_per_core)
-                as u32);
+            let lead = ThreadId(
+                (socket.0 as usize * topology.cores_per_socket() * threads_per_core) as u32,
+            );
             let raw = msrs.read(lead, address::PKG_ENERGY_STAT)? as u32;
             pkg_trackers.push(CounterTracker::new(raw));
             pkg_lead_thread.push(lead);

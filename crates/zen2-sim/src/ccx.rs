@@ -49,13 +49,8 @@ pub fn resolve(requested_mhz: &[u32], active: &[bool], coupling: bool) -> CcxClo
     assert_eq!(requested_mhz.len(), active.len(), "one activity flag per core");
     assert!(requested_mhz.iter().all(|&f| f > 0), "requests must be positive");
 
-    let mesh_driver = requested_mhz
-        .iter()
-        .zip(active)
-        .filter(|&(_, &a)| a)
-        .map(|(&f, _)| f)
-        .max()
-        .unwrap_or(0);
+    let mesh_driver =
+        requested_mhz.iter().zip(active).filter(|&(_, &a)| a).map(|(&f, _)| f).max().unwrap_or(0);
     let mesh_mhz = mesh_driver.max(L3_MIN_MHZ);
 
     let effective_mhz = requested_mhz

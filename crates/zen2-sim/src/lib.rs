@@ -42,7 +42,15 @@
 //!   and *when*; executing a scenario returns one typed [`Run`].
 //! * [`session`] — a [`Session`] executes `(SimConfig, Scenario, seed)`
 //!   batches across a worker pool with results independent of the worker
-//!   count, reusing one booted prototype per distinct configuration.
+//!   count, reusing one booted prototype per distinct configuration;
+//!   [`Session::run_streaming`] does the same for lazy case streams with
+//!   bounded memory.
+//! * [`sweep`] — a [`Sweep`] declares a parameter grid as [`Axis`] values
+//!   over a base `(config, scenario)`, lazily yields its cases, and
+//!   streams them through a session.
+//! * [`stats`] — on-line aggregators (Welford, streaming quantiles,
+//!   trace reductions) turning arbitrarily large sweeps into
+//!   bounded-size summaries.
 
 pub mod ccx;
 pub mod config;
@@ -56,9 +64,11 @@ pub mod probe;
 pub mod scenario;
 pub mod session;
 pub mod smu;
+pub mod stats;
+pub mod sweep;
 pub mod system;
-pub mod trace;
 pub mod time;
+pub mod trace;
 pub mod wakeup;
 
 #[cfg(test)]
@@ -68,5 +78,7 @@ pub use config::SimConfig;
 pub use probe::{EventFilter, Measurement, Probe, ProbeSpec, Run, Window};
 pub use scenario::{Op, Scenario, ScenarioError, Step};
 pub use session::{Case, Session, SessionError, SessionErrorKind};
+pub use stats::{FreqResidency, OnlineStats, P2Quantile, TransitionStats, Welford};
+pub use sweep::{Axis, CaseDraft, Sweep};
 pub use system::System;
 pub use time::{Duration, Instant, Ns};

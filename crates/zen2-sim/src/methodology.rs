@@ -42,7 +42,13 @@ impl Histogram {
     /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo && bins > 0, "invalid histogram range");
-        Self { lo, width: (hi - lo) / bins as f64, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Adds one sample.

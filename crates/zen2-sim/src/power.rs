@@ -62,8 +62,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
     let offline_c1 = cfg.os.offline_parks_in_c1;
     let mut pkg_awake = vec![false; num_pkgs];
     if cfg.global_package_c6 {
-        let any_blocker =
-            state.thread_states.iter().any(|t| !t.allows_package_c6(offline_c1));
+        let any_blocker = state.thread_states.iter().any(|t| !t.allows_package_c6(offline_c1));
         for awake in pkg_awake.iter_mut() {
             *awake = any_blocker;
         }
@@ -71,9 +70,8 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
         for (pkg, awake) in pkg_awake.iter_mut().enumerate() {
             let base = pkg * topo.cores_per_socket() * tpc;
             let end = base + topo.cores_per_socket() * tpc;
-            *awake = state.thread_states[base..end]
-                .iter()
-                .any(|t| !t.allows_package_c6(offline_c1));
+            *awake =
+                state.thread_states[base..end].iter().any(|t| !t.allows_package_c6(offline_c1));
         }
     }
 
@@ -104,8 +102,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
                     .next()
                     .unwrap_or((KernelClass::Idle, OperandWeight::HALF));
                 let kernel = kernels.kernel(class);
-                core_true_w[core_idx] =
-                    cfg.power.core.active_power_w(kernel, smt, f, v, weight);
+                core_true_w[core_idx] = cfg.power.core.active_power_w(kernel, smt, f, v, weight);
                 core_est_w[core_idx] = cfg.rapl.core_estimate_w(kernel, smt, f, v, die_c)
                     + state.est_noise_w[core_idx];
                 let ccd = topo.ccd_of_core(core).index();
@@ -125,8 +122,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
     // Cap per-CCD DRAM demand at the fabric/DRAM capacity.
     let plan = ClockPlan::resolve(cfg.iod_pstate, cfg.dram);
     let ccd_cap = cfg.bandwidth.link_cap_gbs(&plan).min(cfg.bandwidth.dram_cap_gbs(&plan));
-    let dram_traffic_gbs: f64 =
-        ccd_demand_gbs.iter().map(|&d| d.min(ccd_cap)).sum();
+    let dram_traffic_gbs: f64 = ccd_demand_gbs.iter().map(|&d| d.min(ccd_cap)).sum();
 
     let any_awake = pkg_awake.iter().any(|&a| a);
     let dram_w = if any_awake {
@@ -171,8 +167,9 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
 mod tests {
     use super::*;
 
-    fn idle_state(cfg: &SimConfig) -> (Vec<ThreadState>, Vec<Option<(KernelClass, OperandWeight)>>)
-    {
+    fn idle_state(
+        cfg: &SimConfig,
+    ) -> (Vec<ThreadState>, Vec<Option<(KernelClass, OperandWeight)>>) {
         let n = cfg.topology.num_threads();
         (vec![ThreadState::C2; n], vec![None; n])
     }

@@ -214,10 +214,7 @@ impl ProbeSpec {
                 let steps = rapl_poll_steps(len);
                 // u128: `len * k` can exceed u64 for very long windows.
                 (1..=steps)
-                    .map(|k| {
-                        self.window.from
-                            + (len as u128 * k as u128 / steps as u128) as Ns
-                    })
+                    .map(|k| self.window.from + (len as u128 * k as u128 / steps as u128) as Ns)
                     .collect()
             }
             _ => Vec::new(),

@@ -108,13 +108,7 @@ pub(crate) struct VThread {
 
 impl Default for VThread {
     fn default() -> Self {
-        Self {
-            has_work: false,
-            polling: false,
-            offline: false,
-            c1_enabled: true,
-            c2_enabled: true,
-        }
+        Self { has_work: false, polling: false, offline: false, c1_enabled: true, c2_enabled: true }
     }
 }
 
@@ -359,9 +353,7 @@ impl Scenario {
                         });
                     }
                     if w.from as u128 + count as u128 * gap as u128 > w.to as u128 {
-                        return Err(ScenarioError::WindowOutOfRange {
-                            label: spec.label.clone(),
-                        });
+                        return Err(ScenarioError::WindowOutOfRange { label: spec.label.clone() });
                     }
                     // The runtime panics when sampling a non-sleeping
                     // callee; one forward sweep replays the callee's
@@ -369,10 +361,8 @@ impl Scenario {
                     // state *before* actions scheduled at the same
                     // instant).
                     let mut state = initial[callee.index()];
-                    let mut steps = ordered
-                        .iter()
-                        .filter(|s| s.op.target() == Some(callee))
-                        .peekable();
+                    let mut steps =
+                        ordered.iter().filter(|s| s.op.target() == Some(callee)).peekable();
                     for k in 1..=count as u64 {
                         let t = w.from + k * gap;
                         while steps.peek().is_some_and(|s| s.at < t) {
@@ -392,10 +382,7 @@ impl Scenario {
                     return Err(ScenarioError::CoreOutOfRange { core: core.0, num_cores });
                 }
                 Probe::PkgTrueW(socket) if socket.0 >= num_sockets => {
-                    return Err(ScenarioError::SocketOutOfRange {
-                        socket: socket.0,
-                        num_sockets,
-                    });
+                    return Err(ScenarioError::SocketOutOfRange { socket: socket.0, num_sockets });
                 }
                 Probe::StreamTriadGbs(0) => {
                     return Err(ScenarioError::ZeroInterval { label: spec.label.clone() });
@@ -406,10 +393,7 @@ impl Scenario {
                 Probe::TraceEvents(filter) => match filter {
                     EventFilter::Freq(core) => {
                         if core.0 >= num_cores {
-                            return Err(ScenarioError::CoreOutOfRange {
-                                core: core.0,
-                                num_cores,
-                            });
+                            return Err(ScenarioError::CoreOutOfRange { core: core.0, num_cores });
                         }
                     }
                     EventFilter::ThreadState(thread) => check_thread(thread)?,
@@ -709,9 +693,7 @@ impl System {
             }
 
             // 1. Mid-window sampling obligations due now.
-            for (i, (spec, state)) in
-                scenario.probes().iter().zip(states.iter_mut()).enumerate()
-            {
+            for (i, (spec, state)) in scenario.probes().iter().zip(states.iter_mut()).enumerate() {
                 if mid_times[i].get(mid_cursor[i]) != Some(&t) {
                     continue;
                 }
@@ -720,10 +702,7 @@ impl System {
                     (Probe::CounterSeries { thread, .. }, ProbeState::SeriesOpen { snaps }) => {
                         snaps.push(self.counters(*thread));
                     }
-                    (
-                        Probe::RaplW | Probe::RaplCoreW(_),
-                        ProbeState::RaplOpen { window },
-                    ) => {
+                    (Probe::RaplW | Probe::RaplCoreW(_), ProbeState::RaplOpen { window }) => {
                         window.poll(self);
                     }
                     (
@@ -800,7 +779,10 @@ impl System {
                         Measurement::GigabytesPerSec(self.stream_triad_gbs(*cores))
                     }
                     (probe, _) => {
-                        unreachable!("probe {probe:?} ({:?}) closed from a foreign state", spec.label)
+                        unreachable!(
+                            "probe {probe:?} ({:?}) closed from a foreign state",
+                            spec.label
+                        )
                     }
                 };
                 *state = ProbeState::Done(done);

@@ -16,6 +16,12 @@
 //! surfaced as a [`SessionError`] while every other case still runs to
 //! completion.
 //!
+//! For grids too large to materialize, [`Session::run_streaming`]
+//! consumes a lazy case iterator (e.g. [`Sweep::cases`](crate::Sweep::cases))
+//! one shard-group at a time and delivers each completed [`Run`] to a
+//! sink in case order, holding at most `workers × shard_size` cases in
+//! memory.
+//!
 //! ```
 //! use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
 //!
@@ -54,12 +60,7 @@ pub struct Case {
 
 impl Case {
     /// Builds a case.
-    pub fn new(
-        label: impl Into<String>,
-        config: SimConfig,
-        scenario: Scenario,
-        seed: u64,
-    ) -> Self {
+    pub fn new(label: impl Into<String>, config: SimConfig, scenario: Scenario, seed: u64) -> Self {
         Self { label: label.into(), config, scenario, seed }
     }
 }
@@ -68,6 +69,7 @@ impl Case {
 #[derive(Debug, Clone)]
 pub struct Session {
     workers: usize,
+    shard: usize,
     reuse_boots: bool,
 }
 
@@ -77,17 +79,31 @@ impl Default for Session {
     }
 }
 
+/// Booted prototypes the streaming path keeps across shards, at most
+/// this many (each is a fully booted machine; an unbounded cache would
+/// defeat the bounded-memory point of streaming).
+const PROTOTYPE_CACHE_CAP: usize = 4;
+
 impl Session {
     /// A session sized to the host's available parallelism.
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self { workers, reuse_boots: true }
+        Self { workers, shard: 16, reuse_boots: true }
     }
 
-    /// Sets the worker count (results do not depend on it).
+    /// Sets the worker count (results do not depend on it). Zero is
+    /// clamped to one worker.
     pub fn workers(mut self, n: usize) -> Self {
-        assert!(n > 0, "a session needs at least one worker");
-        self.workers = n;
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the per-worker shard size of the streaming path
+    /// ([`run_streaming`](Self::run_streaming) holds at most
+    /// `workers × shard_size` cases in memory; results do not depend on
+    /// it). Zero is clamped to one.
+    pub fn shard_size(mut self, n: usize) -> Self {
+        self.shard = n.max(1);
         self
     }
 
@@ -101,9 +117,37 @@ impl Session {
 
     /// Validates every case, then executes the batch across the worker
     /// pool. Results come back in case order and are a pure function of
-    /// each `(config, scenario, seed)` triple.
+    /// each `(config, scenario, seed)` triple. An empty batch returns an
+    /// empty `Vec`.
     pub fn run(&self, cases: &[Case]) -> Result<Vec<Run>, SessionError> {
         self.run_with(cases, |sys, case| sys.run_scenario_prechecked(&case.scenario))
+    }
+
+    /// Executes a lazily produced case stream without ever materializing
+    /// it: cases are pulled from the iterator one shard-group
+    /// (`workers × shard_size` cases) at a time, executed across the
+    /// worker pool, and delivered to `sink` as `(case index, run)` — in
+    /// case-index order, regardless of the worker count or shard size,
+    /// so order-sensitive on-line aggregators (see
+    /// [`stats`](crate::stats)) reduce to bit-identical summaries under
+    /// any parallelism. Returns the number of runs delivered.
+    ///
+    /// Peak case residency is bounded by `workers × shard_size`; booted
+    /// prototypes are reused across shards through a small
+    /// least-recently-used cache, so a homogeneous million-case grid
+    /// still boots only once.
+    ///
+    /// On a validation failure or worker panic the error is attributed
+    /// to its case and the stream stops; runs of earlier cases have
+    /// already been delivered to the sink at that point.
+    pub fn run_streaming<I, F>(&self, cases: I, sink: F) -> Result<usize, SessionError>
+    where
+        I: IntoIterator<Item = Case>,
+        F: FnMut(usize, Run),
+    {
+        self.run_streaming_with(cases, sink, |sys, case| {
+            sys.run_scenario_prechecked(&case.scenario)
+        })
     }
 
     /// [`run`](Self::run) with an injectable per-case executor, so the
@@ -115,10 +159,7 @@ impl Session {
         execute: impl Fn(&mut System, &Case) -> Run + Sync,
     ) -> Result<Vec<Run>, SessionError> {
         for case in cases {
-            case.scenario.validate(&case.config).map_err(|error| SessionError {
-                case: case.label.clone(),
-                kind: SessionErrorKind::InvalidScenario(error),
-            })?;
+            validate_case(case)?;
         }
 
         // One booted prototype per configuration that is actually shared
@@ -149,54 +190,12 @@ impl Session {
             }
         }
 
-        let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<Result<Run, String>>>> =
-            cases.iter().map(|_| Mutex::new(None)).collect();
-        let workers = self.workers.min(cases.len()).max(1);
-        let prototypes = &prototypes;
-        let keys_ref = &keys;
-        let results_ref = &results;
-        let next_ref = &next;
-        let execute_ref = &execute;
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(move || loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    if i >= cases.len() {
-                        break;
-                    }
-                    let case = &cases[i];
-                    // Contain a panicking case: record it against slot `i`
-                    // and keep the worker alive for the remaining cases,
-                    // instead of letting the unwind cross the scope and
-                    // cascade into unrelated cases.
-                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                        let mut sys = match prototypes[keys_ref[i]].as_ref() {
-                            Some(proto) => proto.fork(case.seed),
-                            None => System::new(case.config.clone(), case.seed),
-                        };
-                        execute_ref(&mut sys, case)
-                    }))
-                    .map_err(|payload| panic_text(payload.as_ref()));
-                    // Nothing here can poison the slot (the fallible work
-                    // all sits inside the catch above), but stay robust.
-                    let mut slot = match results_ref[i].lock() {
-                        Ok(guard) => guard,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    *slot = Some(outcome);
-                });
-            }
-        });
+        let protos: Vec<Option<&System>> = keys.iter().map(|&k| prototypes[k].as_ref()).collect();
+        let outcomes = pool_outcomes(cases, &protos, self.workers, &execute);
 
         let mut runs = Vec::with_capacity(cases.len());
-        for (case, slot) in cases.iter().zip(results) {
-            let outcome = match slot.into_inner() {
-                Ok(value) => value,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            match outcome.expect("every claimed case stores its outcome") {
+        for (case, outcome) in cases.iter().zip(outcomes) {
+            match outcome {
                 Ok(run) => runs.push(run),
                 Err(panic) => {
                     return Err(SessionError {
@@ -207,6 +206,190 @@ impl Session {
             }
         }
         Ok(runs)
+    }
+
+    /// [`run_streaming`](Self::run_streaming) with an injectable
+    /// executor (the panic-containment test hook).
+    fn run_streaming_with<I, F>(
+        &self,
+        cases: I,
+        mut sink: F,
+        execute: impl Fn(&mut System, &Case) -> Run + Sync,
+    ) -> Result<usize, SessionError>
+    where
+        I: IntoIterator<Item = Case>,
+        F: FnMut(usize, Run),
+    {
+        let group = self.workers.saturating_mul(self.shard);
+        let mut iter = cases.into_iter();
+        let mut cache = PrototypeCache::new(PROTOTYPE_CACHE_CAP);
+        let mut delivered = 0usize;
+        loop {
+            let shard_cases: Vec<Case> = iter.by_ref().take(group).collect();
+            if shard_cases.is_empty() {
+                return Ok(delivered);
+            }
+            for case in &shard_cases {
+                validate_case(case)?;
+            }
+            if self.reuse_boots {
+                cache.prepare(&shard_cases);
+            }
+            let protos: Vec<Option<&System>> =
+                shard_cases.iter().map(|case| cache.get(&case.config)).collect();
+            let outcomes = pool_outcomes(&shard_cases, &protos, self.workers, &execute);
+            for (case, outcome) in shard_cases.iter().zip(outcomes) {
+                match outcome {
+                    Ok(run) => {
+                        sink(delivered, run);
+                        delivered += 1;
+                    }
+                    Err(panic) => {
+                        return Err(SessionError {
+                            case: case.label.clone(),
+                            kind: SessionErrorKind::WorkerPanicked(panic),
+                        })
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Validates one case, attributing any scenario error to its label.
+fn validate_case(case: &Case) -> Result<(), SessionError> {
+    case.scenario.validate(&case.config).map_err(|error| SessionError {
+        case: case.label.clone(),
+        kind: SessionErrorKind::InvalidScenario(error),
+    })
+}
+
+/// Executes every case across a worker pool, forking from the per-case
+/// prototype where one is given, and returns each case's outcome in case
+/// order. Panicking cases are contained and reported as `Err` outcomes.
+fn pool_outcomes(
+    cases: &[Case],
+    protos: &[Option<&System>],
+    workers: usize,
+    execute: &(impl Fn(&mut System, &Case) -> Run + Sync),
+) -> Vec<Result<Run, String>> {
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<Run, String>>>> =
+        cases.iter().map(|_| Mutex::new(None)).collect();
+    let workers = workers.min(cases.len()).max(1);
+    let results_ref = &results;
+    let next_ref = &next;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= cases.len() {
+                    break;
+                }
+                let case = &cases[i];
+                // Contain a panicking case: record it against slot `i`
+                // and keep the worker alive for the remaining cases,
+                // instead of letting the unwind cross the scope and
+                // cascade into unrelated cases.
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut sys = match protos[i] {
+                        Some(proto) => proto.fork(case.seed),
+                        None => System::new(case.config.clone(), case.seed),
+                    };
+                    execute(&mut sys, case)
+                }))
+                .map_err(|payload| panic_text(payload.as_ref()));
+                // Nothing here can poison the slot (the fallible work
+                // all sits inside the catch above), but stay robust.
+                let mut slot = match results_ref[i].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *slot = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            let outcome = match slot.into_inner() {
+                Ok(value) => value,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            outcome.expect("every claimed case stores its outcome")
+        })
+        .collect()
+}
+
+/// Booted prototypes kept across streaming shards: a tiny
+/// least-recently-used cache keyed by structural [`SimConfig`] equality.
+/// Capacity is fixed so a grid sweeping the configuration axis cannot
+/// accumulate unbounded booted machines.
+struct PrototypeCache {
+    cap: usize,
+    /// `(config, prototype, last use tick)`.
+    entries: Vec<(SimConfig, System, u64)>,
+    tick: u64,
+}
+
+impl PrototypeCache {
+    fn new(cap: usize) -> Self {
+        Self { cap, entries: Vec::new(), tick: 0 }
+    }
+
+    /// Ensures a prototype exists for every configuration this shard
+    /// shares across at least two cases (or that is already cached from
+    /// an earlier shard). At capacity, a stale entry (one not used by
+    /// *this* shard) is evicted before the replacement boots; if every
+    /// cached entry is in use by this shard, the new configuration is
+    /// not booted at all — its cases fall back to per-case boots rather
+    /// than thrashing the cache with prototypes that would be evicted
+    /// before anything forks them.
+    fn prepare(&mut self, cases: &[Case]) {
+        let mut distinct: Vec<(&SimConfig, usize)> = Vec::new();
+        for case in cases {
+            match distinct.iter_mut().find(|(c, _)| **c == case.config) {
+                Some((_, n)) => *n += 1,
+                None => distinct.push((&case.config, 1)),
+            }
+        }
+        // Entries with a tick beyond this mark were touched this shard.
+        let epoch = self.tick;
+        for (config, uses) in distinct {
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some(entry) = self.entries.iter_mut().find(|(c, _, _)| c == config) {
+                entry.2 = tick;
+                continue;
+            }
+            if uses < 2 {
+                continue;
+            }
+            if self.entries.len() >= self.cap {
+                let stalest = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, t))| *t <= epoch)
+                    .min_by_key(|(_, (_, _, t))| *t)
+                    .map(|(i, _)| i);
+                match stalest {
+                    Some(i) => {
+                        self.entries.swap_remove(i);
+                    }
+                    // Every slot is hot this shard: booting would only
+                    // displace a prototype that is about to be forked.
+                    None => continue,
+                }
+            }
+            self.entries.push((config.clone(), System::new(config.clone(), 0), tick));
+        }
+    }
+
+    fn get(&self, config: &SimConfig) -> Option<&System> {
+        self.entries.iter().find(|(c, _, _)| c == config).map(|(_, proto, _)| proto)
     }
 }
 
@@ -282,6 +465,137 @@ mod tests {
             .enumerate()
             .map(|(i, l)| Case::new(*l, SimConfig::epyc_7502_2s(), instant_scenario(), i as u64))
             .collect()
+    }
+
+    #[test]
+    fn zero_workers_clamp_to_one() {
+        // `workers(0)` must not panic or hang; it behaves as one worker.
+        let batch = cases(&["only"]);
+        let runs = Session::new().workers(0).run(&batch).unwrap();
+        assert_eq!(runs.len(), 1);
+        let mut streamed = 0;
+        let n = Session::new()
+            .workers(0)
+            .shard_size(0)
+            .run_streaming(batch.clone(), |_, _| streamed += 1)
+            .unwrap();
+        assert_eq!((n, streamed), (1, 1));
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_vec() {
+        let runs = Session::new().run(&[]).unwrap();
+        assert!(runs.is_empty());
+        // The same holds for zero workers and for the streaming path.
+        assert!(Session::new().workers(0).run(&[]).unwrap().is_empty());
+        let delivered =
+            Session::new().run_streaming(std::iter::empty(), |_, _| panic!("no runs")).unwrap();
+        assert_eq!(delivered, 0);
+    }
+
+    #[test]
+    fn streaming_delivers_in_case_order_with_global_indices() {
+        let batch = cases(&["a", "b", "c", "d", "e"]);
+        let expected = Session::new().workers(1).run(&batch).unwrap();
+        for (workers, shard) in [(1, 1), (2, 1), (3, 2), (7, 64)] {
+            let mut seen = Vec::new();
+            let n = Session::new()
+                .workers(workers)
+                .shard_size(shard)
+                .run_streaming(batch.clone(), |i, run| seen.push((i, run)))
+                .unwrap();
+            assert_eq!(n, 5);
+            let indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+            assert_eq!(indices, [0, 1, 2, 3, 4]);
+            let runs: Vec<Run> = seen.into_iter().map(|(_, run)| run).collect();
+            assert_eq!(runs, expected, "workers {workers} shard {shard}");
+        }
+    }
+
+    #[test]
+    fn streaming_panic_is_attributed_and_earlier_runs_are_delivered() {
+        let batch = cases(&["a", "b", "boom", "d"]);
+        let mut delivered = Vec::new();
+        let err = Session::new()
+            .workers(1)
+            .shard_size(2)
+            .run_streaming_with(
+                batch,
+                |i, _| delivered.push(i),
+                |sys, case| {
+                    if case.label == "boom" {
+                        panic!("stream kaboom");
+                    }
+                    sys.run_scenario_prechecked(&case.scenario)
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.case, "boom");
+        assert!(matches!(err.kind, SessionErrorKind::WorkerPanicked(_)));
+        // The first shard (cases 0-1) completed and streamed out before
+        // the second shard's panic stopped the stream.
+        assert_eq!(delivered, [0, 1]);
+    }
+
+    #[test]
+    fn streaming_validation_failure_names_its_case() {
+        let mut backwards = Scenario::new();
+        backwards.probe("w", Probe::AcTrueMeanW, Window::span(100, 50));
+        let bad = Case::new("inverted", SimConfig::epyc_7502_2s(), backwards, 1);
+        let err =
+            Session::new().run_streaming(vec![bad], |_, _| panic!("must not deliver")).unwrap_err();
+        assert_eq!(err.case, "inverted");
+        assert!(matches!(err.kind, SessionErrorKind::InvalidScenario(_)));
+    }
+
+    #[test]
+    fn prototype_cache_reuses_across_shards_and_stays_bounded() {
+        let mut cache = PrototypeCache::new(2);
+        let a = SimConfig::epyc_7502_2s();
+        let mut b = a.clone();
+        b.controller.deadband_w += 1.0;
+        let mut c = a.clone();
+        c.controller.deadband_w += 2.0;
+        let shard = |cfg: &SimConfig| vec![case_with(cfg, "x"), case_with(cfg, "y")];
+        cache.prepare(&shard(&a));
+        assert!(cache.get(&a).is_some());
+        // A config used once is not worth booting a prototype for...
+        cache.prepare(&[case_with(&b, "solo")]);
+        assert!(cache.get(&b).is_none());
+        // ...but shared configs are cached, and capacity evicts the LRU.
+        cache.prepare(&shard(&b));
+        cache.prepare(&shard(&c));
+        assert!(cache.get(&a).is_none(), "stale entry evicted at capacity");
+        assert!(cache.get(&b).is_some());
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn prototype_cache_does_not_thrash_when_a_shard_overflows_it() {
+        // More shared configs in one shard than the cache holds: the
+        // overflow configs must not boot prototypes that are evicted
+        // before any case forks them (their cases boot fresh instead),
+        // and the already-hot entries must survive.
+        let mut cache = PrototypeCache::new(2);
+        let base = SimConfig::epyc_7502_2s();
+        let mut configs = Vec::new();
+        for i in 0..4 {
+            let mut c = base.clone();
+            c.controller.deadband_w += i as f64;
+            configs.push(c);
+        }
+        let shard: Vec<Case> =
+            configs.iter().flat_map(|c| [case_with(c, "x"), case_with(c, "y")]).collect();
+        cache.prepare(&shard);
+        assert!(cache.get(&configs[0]).is_some());
+        assert!(cache.get(&configs[1]).is_some());
+        assert!(cache.get(&configs[2]).is_none(), "overflow config must not thrash the cache");
+        assert!(cache.get(&configs[3]).is_none());
+        assert_eq!(cache.entries.len(), 2);
+    }
+
+    fn case_with(cfg: &SimConfig, label: &str) -> Case {
+        Case::new(label, cfg.clone(), instant_scenario(), 1)
     }
 
     #[test]

@@ -88,9 +88,7 @@ impl CoreDvfs {
     /// The effective target: queued request, pending target, or applied
     /// frequency.
     pub fn target_mhz(&self) -> u32 {
-        self.queued_mhz
-            .or(self.pending.map(|p| p.target_mhz))
-            .unwrap_or(self.applied_mhz)
+        self.queued_mhz.or(self.pending.map(|p| p.target_mhz)).unwrap_or(self.applied_mhz)
     }
 }
 
@@ -106,7 +104,12 @@ pub struct Smu {
 impl Smu {
     /// Creates the service with every core at `initial_mhz`. `vf_points`
     /// maps frequency (MHz) to voltage for fast-path eligibility.
-    pub fn new(params: SmuParams, num_cores: usize, initial_mhz: u32, vf_points: Vec<(u32, f64)>) -> Self {
+    pub fn new(
+        params: SmuParams,
+        num_cores: usize,
+        initial_mhz: u32,
+        vf_points: Vec<(u32, f64)>,
+    ) -> Self {
         assert!(!vf_points.is_empty(), "the SMU needs V/f points");
         Self {
             params,
@@ -169,12 +172,11 @@ impl Smu {
             return None;
         }
         if state.pending.is_some() {
-            state.queued_mhz =
-                if state.pending.map(|p| p.target_mhz) == Some(target_mhz) {
-                    None
-                } else {
-                    Some(target_mhz)
-                };
+            state.queued_mhz = if state.pending.map(|p| p.target_mhz) == Some(target_mhz) {
+                None
+            } else {
+                Some(target_mhz)
+            };
             return None;
         }
         state.queued_mhz = None;
@@ -257,12 +259,7 @@ mod tests {
     use crate::time::{MICROSECOND, MILLISECOND};
 
     fn smu() -> Smu {
-        Smu::new(
-            SmuParams::default(),
-            4,
-            2500,
-            vec![(1500, 0.85), (2200, 0.95), (2500, 1.00)],
-        )
+        Smu::new(SmuParams::default(), 4, 2500, vec![(1500, 0.85), (2200, 0.95), (2500, 1.00)])
     }
 
     fn settle(s: &mut Smu, now: &mut Ns) {

@@ -1,0 +1,599 @@
+//! On-line statistics for streaming sweeps: bounded-size aggregators
+//! that reduce arbitrarily many [`Run`](crate::Run)s to summaries.
+//!
+//! A million-case sweep cannot keep its runs around; these aggregators
+//! consume one observation (or one run's trace records) at a time and
+//! hold O(1) state:
+//!
+//! * [`Welford`] — numerically stable mean/standard deviation plus
+//!   min/max, via Welford's on-line algorithm.
+//! * [`P2Quantile`] — a streaming quantile estimate (Jain & Chlamtac's
+//!   P² algorithm, five markers, exact until the sixth observation).
+//! * [`OnlineStats`] — the bundle the sweep engine hands out: Welford
+//!   plus p50/p95 estimators behind one `push`.
+//! * [`FreqResidency`] — time-at-frequency histogram reduced from
+//!   [`Probe::TraceEvents`](crate::Probe::TraceEvents) records.
+//! * [`TransitionStats`] — DVFS transition counts and request→apply
+//!   latency statistics from the same records.
+//!
+//! Every aggregator is deterministic in its input order. The streaming
+//! session delivers runs in case order regardless of worker count or
+//! shard size, so feeding these from a
+//! [`Session::run_streaming`](crate::Session::run_streaming) sink gives
+//! bit-identical summaries for any parallelism.
+
+use crate::time::Ns;
+use crate::trace::{Event, Record};
+use std::collections::BTreeMap;
+
+/// Welford's on-line mean and variance, with min/max tracking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean.
+    ///
+    /// # Panics
+    /// Panics on an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        assert!(self.count > 0, "mean of an empty accumulator");
+        self.mean
+    }
+
+    /// Sample standard deviation (n−1 denominator).
+    ///
+    /// # Panics
+    /// Panics with fewer than two observations.
+    pub fn std_dev(&self) -> f64 {
+        assert!(self.count >= 2, "standard deviation needs at least two observations");
+        (self.m2 / (self.count - 1) as f64).sqrt()
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    /// Panics on an empty accumulator.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of an empty accumulator");
+        self.min
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    /// Panics on an empty accumulator.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of an empty accumulator");
+        self.max
+    }
+}
+
+/// A streaming quantile estimator: the P² algorithm (Jain & Chlamtac,
+/// CACM 1985). Five markers, O(1) state, exact for the first five
+/// observations and a parabolic-interpolation estimate afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [i64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired-position increments per observation.
+    dn: [f64; 5],
+    /// Initial buffer until five observations have arrived.
+    initial: Vec<f64>,
+    count: u64,
+}
+
+impl P2Quantile {
+    /// An estimator for the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1, 2, 3, 4, 5],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            initial: Vec::with_capacity(5),
+            count: 0,
+        }
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                for (slot, &v) in self.q.iter_mut().zip(&self.initial) {
+                    *slot = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell, extending the extreme markers if needed.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            (0..4).find(|&i| self.q[i] <= x && x < self.q[i + 1]).expect("x within marker span")
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1;
+        }
+        for (np, dn) in self.np.iter_mut().zip(&self.dn) {
+            *np += dn;
+        }
+
+        // Nudge the three middle markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i] as f64;
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1)
+            {
+                let d = d.signum() as i64;
+                let parabolic = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: i64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        let d = d as f64;
+        let above = ((n[i] - n[i - 1]) as f64 + d) * (q[i + 1] - q[i]) / ((n[i + 1] - n[i]) as f64);
+        let below = ((n[i + 1] - n[i]) as f64 - d) * (q[i] - q[i - 1]) / ((n[i] - n[i - 1]) as f64);
+        q[i] + d / ((n[i + 1] - n[i - 1]) as f64) * (above + below)
+    }
+
+    fn linear(&self, i: usize, d: i64) -> f64 {
+        let j = (i as i64 + d) as usize;
+        self.q[i] + d as f64 * (self.q[j] - self.q[i]) / ((self.n[j] - self.n[i]) as f64)
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The current quantile estimate (exact for ≤ 5 observations).
+    ///
+    /// # Panics
+    /// Panics on an empty estimator.
+    pub fn estimate(&self) -> f64 {
+        assert!(self.count > 0, "quantile of an empty estimator");
+        if self.count <= 5 {
+            // Exact: linear interpolation on the sorted buffer.
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(f64::total_cmp);
+            let rank = self.p * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+        }
+        self.q[2]
+    }
+}
+
+/// One observable's complete streaming summary: count, mean, standard
+/// deviation, min/max, and p50/p95 estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineStats {
+    welford: Welford,
+    p50: P2Quantile,
+    p95: P2Quantile,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self { welford: Welford::new(), p50: P2Quantile::new(0.5), p95: P2Quantile::new(0.95) }
+    }
+
+    /// Consumes one observation.
+    pub fn push(&mut self, x: f64) {
+        self.welford.push(x);
+        self.p50.push(x);
+        self.p95.push(x);
+    }
+
+    /// Observations consumed so far.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Sample standard deviation (n−1 denominator).
+    pub fn std_dev(&self) -> f64 {
+        self.welford.std_dev()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.welford.min()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.welford.max()
+    }
+
+    /// Streaming median estimate.
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate()
+    }
+
+    /// Streaming 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.p95.estimate()
+    }
+}
+
+/// A frequency-residency histogram: how long a core spent at each
+/// applied frequency, reduced from
+/// [`Probe::TraceEvents`](crate::Probe::TraceEvents) records (pair it
+/// with [`EventFilter::Freq`](crate::EventFilter::Freq) so the records
+/// describe one core). Time before the first `FreqApplied` record in a
+/// window has no known frequency and lands in
+/// [`unknown_ns`](Self::unknown_ns); calling
+/// [`observe`](Self::observe) repeatedly accumulates across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FreqResidency {
+    by_mhz: BTreeMap<u32, Ns>,
+    unknown_ns: Ns,
+}
+
+impl FreqResidency {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one run's records over the machine-absolute window
+    /// `[from_ns, to_ns)`. Records outside the window still establish
+    /// the frequency that is current when the window opens.
+    pub fn observe(&mut self, records: &[Record], from_ns: Ns, to_ns: Ns) {
+        assert!(from_ns <= to_ns, "residency window runs backwards");
+        let mut current: Option<u32> = None;
+        let mut cursor = from_ns;
+        for record in records {
+            let Event::FreqApplied { mhz, .. } = record.event else { continue };
+            if record.at_ns <= from_ns {
+                current = Some(mhz);
+                continue;
+            }
+            let end = record.at_ns.min(to_ns);
+            if end > cursor {
+                self.credit(current, end - cursor);
+                cursor = end;
+            }
+            if record.at_ns >= to_ns {
+                current = Some(mhz);
+                break;
+            }
+            current = Some(mhz);
+        }
+        if to_ns > cursor {
+            self.credit(current, to_ns - cursor);
+        }
+    }
+
+    fn credit(&mut self, mhz: Option<u32>, ns: Ns) {
+        match mhz {
+            Some(mhz) => *self.by_mhz.entry(mhz).or_insert(0) += ns,
+            None => self.unknown_ns += ns,
+        }
+    }
+
+    /// Residency per applied frequency, ns, ascending by MHz.
+    pub fn residency(&self) -> &BTreeMap<u32, Ns> {
+        &self.by_mhz
+    }
+
+    /// Time with no applied frequency on record yet, ns.
+    pub fn unknown_ns(&self) -> Ns {
+        self.unknown_ns
+    }
+
+    /// Total accumulated window time, ns (known + unknown).
+    pub fn total_ns(&self) -> Ns {
+        self.by_mhz.values().sum::<Ns>() + self.unknown_ns
+    }
+
+    /// Fraction of the *known* time spent at `mhz` (0 when nothing is
+    /// known yet).
+    pub fn share(&self, mhz: u32) -> f64 {
+        let known = self.total_ns() - self.unknown_ns;
+        if known == 0 {
+            return 0.0;
+        }
+        self.by_mhz.get(&mhz).copied().unwrap_or(0) as f64 / known as f64
+    }
+}
+
+/// DVFS transition statistics reduced from
+/// [`Probe::TraceEvents`](crate::Probe::TraceEvents) records: completed
+/// request→apply transitions, fast-path count, and streaming latency
+/// statistics (ns).
+///
+/// Pairing generalizes the Fig. 3 recovery: per core, requests queue in
+/// order (a repeated request for an already-queued target does not
+/// restart its clock — the SMU coalesces it), and an apply matches the
+/// earliest queued request for its target, retiring every older request
+/// with it. Requests that overlap an in-flight transition (the SMU
+/// queues them) therefore still pair with their own later application.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TransitionStats {
+    completed: u64,
+    fast_path: u64,
+    latency_ns: OnlineStats,
+}
+
+impl TransitionStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one run's records. Requests left pending when the
+    /// record stream ends are dropped (the run ended mid-transition).
+    pub fn observe(&mut self, records: &[Record]) {
+        // Per-core queue of pending requests: (time, target MHz).
+        let mut pending: BTreeMap<u32, Vec<(Ns, u32)>> = BTreeMap::new();
+        for record in records {
+            match record.event {
+                Event::FreqRequested { core, target_mhz } => {
+                    let queue = pending.entry(core.0).or_default();
+                    if queue.iter().all(|&(_, mhz)| mhz != target_mhz) {
+                        queue.push((record.at_ns, target_mhz));
+                    }
+                }
+                Event::FreqApplied { core, mhz, fast_path } => {
+                    let Some(queue) = pending.get_mut(&core.0) else { continue };
+                    // An apply with no matching request (e.g. a settle
+                    // transition recorded before the window) pairs with
+                    // nothing and leaves the queue untouched.
+                    let Some(at) = queue.iter().position(|&(_, target)| target == mhz) else {
+                        continue;
+                    };
+                    let (requested_at, _) = queue[at];
+                    queue.drain(..=at);
+                    self.completed += 1;
+                    if fast_path {
+                        self.fast_path += 1;
+                    }
+                    self.latency_ns.push((record.at_ns - requested_at) as f64);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Completed request→apply transitions.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Transitions that took a §V-B fast path.
+    pub fn fast_path(&self) -> u64 {
+        self.fast_path
+    }
+
+    /// Streaming latency statistics over completed transitions, ns.
+    pub fn latency_ns(&self) -> &OnlineStats {
+        &self.latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zen2_topology::CoreId;
+
+    fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+        let rank = p * (sorted.len() - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+
+    #[test]
+    fn welford_matches_batch_formulas() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 1000);
+        assert!((w.mean() - crate::methodology::mean(&xs)).abs() < 1e-9);
+        assert!((w.std_dev() - crate::methodology::std_dev(&xs)).abs() < 1e-9);
+        assert_eq!(w.min(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(w.max(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn p2_is_exact_for_small_samples() {
+        let mut q = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            q.push(x);
+        }
+        assert_eq!(q.estimate(), 3.0);
+        q.push(2.0);
+        q.push(4.0);
+        assert_eq!(q.estimate(), 3.0);
+    }
+
+    #[test]
+    fn p2_tracks_known_quantiles_of_a_large_stream() {
+        // A deterministic, well-shuffled stream over [0, 1).
+        let xs: Vec<f64> = (0..10_000u64)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64)
+            .collect();
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.5, 0.95] {
+            let mut est = P2Quantile::new(p);
+            for &x in &xs {
+                est.push(x);
+            }
+            let exact = exact_quantile(&sorted, p);
+            assert!(
+                (est.estimate() - exact).abs() < 0.02,
+                "p{p}: estimate {} vs exact {exact}",
+                est.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn online_stats_bundle() {
+        let mut s = OnlineStats::new();
+        for i in 1..=100 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.p50() - 50.5).abs() < 2.0);
+        assert!((s.p95() - 95.0).abs() < 2.5);
+    }
+
+    fn applied(at_ns: Ns, mhz: u32) -> Record {
+        Record { at_ns, event: Event::FreqApplied { core: CoreId(0), mhz, fast_path: false } }
+    }
+
+    fn requested(at_ns: Ns, target_mhz: u32) -> Record {
+        Record { at_ns, event: Event::FreqRequested { core: CoreId(0), target_mhz } }
+    }
+
+    #[test]
+    fn residency_attributes_segments_and_unknown_lead_in() {
+        let records = [applied(100, 2200), applied(300, 1500), applied(900, 2200)];
+        let mut r = FreqResidency::new();
+        r.observe(&records, 0, 1000);
+        assert_eq!(r.unknown_ns(), 100);
+        assert_eq!(r.residency()[&2200], 200 + 100);
+        assert_eq!(r.residency()[&1500], 600);
+        assert_eq!(r.total_ns(), 1000);
+        // A second observation accumulates, and pre-window records
+        // establish the frequency at the window start.
+        r.observe(&records, 400, 800);
+        assert_eq!(r.residency()[&1500], 600 + 400);
+    }
+
+    #[test]
+    fn residency_share_ignores_unknown_time() {
+        let mut r = FreqResidency::new();
+        r.observe(&[applied(500, 1500)], 0, 1000);
+        assert_eq!(r.unknown_ns(), 500);
+        assert!((r.share(1500) - 1.0).abs() < 1e-12);
+        assert_eq!(r.share(2200), 0.0);
+    }
+
+    #[test]
+    fn transitions_pair_requests_with_applies() {
+        let records = [
+            requested(100, 1500),
+            // A repeat of the pending target must not restart the clock.
+            requested(200, 1500),
+            applied(500, 1500),
+            requested(1000, 2200),
+            applied(1400, 2200),
+            // An apply with no pending request is ignored.
+            applied(2000, 2500),
+        ];
+        let mut t = TransitionStats::new();
+        t.observe(&records);
+        assert_eq!(t.completed(), 2);
+        assert_eq!(t.fast_path(), 0);
+        assert_eq!(t.latency_ns().count(), 2);
+        assert_eq!(t.latency_ns().min(), 400.0);
+        assert_eq!(t.latency_ns().max(), 400.0);
+    }
+
+    #[test]
+    fn transitions_survive_overlapping_requests() {
+        // The SMU queues a request that arrives mid-transition; both
+        // transitions complete and both must be counted with their own
+        // request times.
+        let records =
+            [requested(0, 1500), requested(10, 2200), applied(500, 1500), applied(900, 2200)];
+        let mut t = TransitionStats::new();
+        t.observe(&records);
+        assert_eq!(t.completed(), 2);
+        assert_eq!(t.latency_ns().min(), 500.0);
+        assert_eq!(t.latency_ns().max(), 890.0);
+    }
+
+    #[test]
+    fn transitions_track_fast_path_and_pending_drops() {
+        let mut t = TransitionStats::new();
+        t.observe(&[
+            requested(0, 2500),
+            Record {
+                at_ns: 10,
+                event: Event::FreqApplied { core: CoreId(0), mhz: 2500, fast_path: true },
+            },
+            // Left pending at end of stream: dropped.
+            requested(100, 1500),
+        ]);
+        assert_eq!(t.completed(), 1);
+        assert_eq!(t.fast_path(), 1);
+    }
+}

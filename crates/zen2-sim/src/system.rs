@@ -121,7 +121,8 @@ impl System {
         sys.reevaluate_power();
         // Idle steady-state temperature.
         for pkg in 0..num_pkgs {
-            sys.die_temp_c[pkg] = sys.cfg.power.thermal.steady_state_c(sys.breakdown.pkg_true_w[pkg]);
+            sys.die_temp_c[pkg] =
+                sys.cfg.power.thermal.steady_state_c(sys.breakdown.pkg_true_w[pkg]);
         }
         sys.reevaluate_power();
         sys.trace.clear();
@@ -309,8 +310,7 @@ impl System {
         if !self.thread_states[thread.index()].is_active()
             && self.thread_states[thread.index()] != ThreadState::Offline
         {
-            self.thread_states[thread.index()] =
-                self.idle_cfg[thread.index()].deepest_idle_state();
+            self.thread_states[thread.index()] = self.idle_cfg[thread.index()].deepest_idle_state();
             if self.thread_states[thread.index()] == ThreadState::Active {
                 self.workloads[thread.index()] = Some((KernelClass::Poll, OperandWeight::HALF));
             }
@@ -374,8 +374,8 @@ impl System {
             if let Some(e) = self.smu.next_event() {
                 next = next.min(e);
             }
-            let controller_active = self.cfg.controller.enabled
-                && self.thread_states.iter().any(|t| t.is_active());
+            let controller_active =
+                self.cfg.controller.enabled && self.thread_states.iter().any(|t| t.is_active());
             if controller_active {
                 next = next.min(next_boundary(self.now, self.cfg.smu.slot_period_ns));
             }
@@ -498,8 +498,7 @@ impl System {
         assert!(from < to && to <= self.now, "invalid trace window");
         let mut energy = 0.0;
         for (idx, &(seg_start, watts)) in self.trace.iter().enumerate() {
-            let seg_end =
-                self.trace.get(idx + 1).map(|&(t, _)| t).unwrap_or(self.now);
+            let seg_end = self.trace.get(idx + 1).map(|&(t, _)| t).unwrap_or(self.now);
             let lo = seg_start.max(from);
             let hi = seg_end.min(to);
             if hi > lo {
@@ -537,7 +536,8 @@ impl System {
         for pkg in 0..self.cfg.topology.num_sockets() {
             let raw = self.rapl.package_counter(pkg) as u64;
             for t in 0..self.cfg.topology.cores_per_socket() * tpc {
-                let thread = ThreadId((pkg * self.cfg.topology.cores_per_socket() * tpc + t) as u32);
+                let thread =
+                    ThreadId((pkg * self.cfg.topology.cores_per_socket() * tpc + t) as u32);
                 self.msrs.poke(thread, address::PKG_ENERGY_STAT, raw);
             }
         }
@@ -624,11 +624,7 @@ impl System {
                 .copied()
                 .max()
                 .expect("cores have threads");
-            let pkg = self
-                .cfg
-                .topology
-                .socket_of_core(CoreId::from_index(core))
-                .index();
+            let pkg = self.cfg.topology.socket_of_core(CoreId::from_index(core)).index();
             let target = req.min(self.controllers[pkg].cap_mhz());
             if let Some(p) = self.smu.request(self.now, core, target) {
                 out.push((core, p));

@@ -84,8 +84,7 @@ mod tests {
             assert!((19.0..=26.0).contains(&us), "{us} us at {f} GHz");
         }
         assert!(
-            base_latency_ns(&p, ThreadState::C2, 2.5, false)
-                < p.acpi_reported_c2_ns as f64 / 10.0,
+            base_latency_ns(&p, ThreadState::C2, 2.5, false) < p.acpi_reported_c2_ns as f64 / 10.0,
             "measured C2 exit must be far below the ACPI-reported 400 us"
         );
     }
@@ -103,8 +102,9 @@ mod tests {
         let p = params();
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let base = base_latency_ns(&p, ThreadState::C2, 2.5, false);
-        let samples: Vec<f64> =
-            (0..400).map(|_| sample_latency_ns(&mut rng, &p, ThreadState::C2, 2.5, false)).collect();
+        let samples: Vec<f64> = (0..400)
+            .map(|_| sample_latency_ns(&mut rng, &p, ThreadState::C2, 2.5, false))
+            .collect();
         let near = samples.iter().filter(|&&s| s < base * 1.06).count();
         assert!(near > 360, "most samples near base: {near}/400");
         assert!(samples.iter().all(|&s| s >= base));

@@ -185,12 +185,8 @@ mod tests {
 
     #[test]
     fn numbering_without_smt_is_identity() {
-        let topo = crate::TopologyBuilder::new()
-            .sockets(2)
-            .ccds_per_socket(4)
-            .smt(false)
-            .build()
-            .unwrap();
+        let topo =
+            crate::TopologyBuilder::new().sockets(2).ccds_per_socket(4).smt(false).build().unwrap();
         let numbering = CpuNumbering::linux_default(&topo);
         assert_eq!(numbering.num_cpus(), 64);
         for cpu in numbering.cpus_in_os_order() {

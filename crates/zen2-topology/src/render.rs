@@ -99,12 +99,8 @@ mod tests {
 
     #[test]
     fn lstopo_works_without_smt() {
-        let topo = crate::TopologyBuilder::new()
-            .sockets(1)
-            .ccds_per_socket(2)
-            .smt(false)
-            .build()
-            .unwrap();
+        let topo =
+            crate::TopologyBuilder::new().sockets(1).ccds_per_socket(2).smt(false).build().unwrap();
         let out = lstopo(&topo);
         assert_eq!(out.matches("Core #").count(), 16);
         assert!(out.contains("PU: cpu0\n"), "single PU per core");

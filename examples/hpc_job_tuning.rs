@@ -65,8 +65,10 @@ fn main() {
         let slowdown = (2.5 - f) / 2.5 * 100.0;
         println!("    FMA-heavy job at nominal 2.5 GHz actually runs {f:.3} GHz");
         println!("    ({slowdown:.0} % below nominal — every balanced rank waits for this)");
-        println!("    RAPL-visible package power: {:.1} W (PPT target 170 W)",
-            sys.power_breakdown().pkg_est_w[0]);
+        println!(
+            "    RAPL-visible package power: {:.1} W (PPT target 170 W)",
+            sys.power_breakdown().pkg_est_w[0]
+        );
         println!("    paper's advice: monitor frequencies; no static table exists on Rome");
     }
 }

@@ -32,7 +32,10 @@ fn main() {
     for cpu in 0..128u32 {
         sys.set_cstate_enabled(numbering.thread_of(LogicalCpu(cpu)), 2, true);
     }
-    println!("    -> cost of shallow idle: {:+.1} W, dominated by the lost package C6\n", all_c1 - floor);
+    println!(
+        "    -> cost of shallow idle: {:+.1} W, dominated by the lost package C6\n",
+        all_c1 - floor
+    );
 
     // Trap 2: a single busy housekeeping thread on an otherwise idle node.
     sys.set_workload(ThreadId(0), KernelClass::Poll, OperandWeight::HALF);
@@ -56,6 +59,9 @@ fn main() {
         fixed - floor
     );
 
-    println!("summary: deepest C-states everywhere are worth {:.0} W (~{:.0} %) on this node",
-        all_c1 - floor, (all_c1 - floor) / all_c1 * 100.0);
+    println!(
+        "summary: deepest C-states everywhere are worth {:.0} W (~{:.0} %) on this node",
+        all_c1 - floor,
+        (all_c1 - floor) / all_c1 * 100.0
+    );
 }

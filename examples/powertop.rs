@@ -29,7 +29,10 @@ fn sample_row(sys: &mut System, label: &str, before: &ThreadCounters) -> ThreadC
 fn main() {
     let mut sys = System::new(SimConfig::epyc_7502_2s(), 0x70_70);
     sys.set_tracing(true);
-    println!("{:>7} {:<26} {:>12} {:>12} {:>10} {:>8}", "t", "phase", "wall", "rapl(sum)", "core0", "die");
+    println!(
+        "{:>7} {:<26} {:>12} {:>12} {:>10} {:>8}",
+        "t", "phase", "wall", "rapl(sum)", "core0", "die"
+    );
 
     let mut prev = sys.counters(ThreadId(0));
 

@@ -18,7 +18,10 @@ fn fig01_rome_leads_the_green500_x86_field() {
 
 #[test]
 fn fig03_transition_delays_are_uniform_390_to_1390_us() {
-    let cfg = e::fig03_transition::Config { samples: 1_500, ..e::fig03_transition::Config::fig3(Scale::Quick) };
+    let cfg = e::fig03_transition::Config {
+        samples: 1_500,
+        ..e::fig03_transition::Config::fig3(Scale::Quick)
+    };
     let r = e::fig03_transition::run(&cfg, 1001);
     assert!(r.down.min_us >= 389.0 && r.down.max_us <= 1393.0);
     assert!((r.down.mean_us - 890.0).abs() < 30.0);
@@ -30,8 +33,10 @@ fn sec5b_anomaly_exists_only_for_the_25_22_pair_and_short_waits() {
     let quick = e::fig03_transition::run(&e::fig03_transition::Config::anomaly(Scale::Quick), 1002);
     assert!(quick.up.fast_fraction > 0.05, "instantaneous returns must exist");
     assert!(quick.down.min_us < 250.0, "sub-390 us down-switches must exist");
-    let long =
-        e::fig03_transition::run(&e::fig03_transition::Config::anomaly_long_waits(Scale::Quick), 1003);
+    let long = e::fig03_transition::run(
+        &e::fig03_transition::Config::anomaly_long_waits(Scale::Quick),
+        1003,
+    );
     assert_eq!(long.up.fast_fraction, 0.0, "the effect disappears with >=5 ms waits");
 }
 
@@ -58,7 +63,8 @@ fn fig05_memory_matrices_reproduce() {
 
 #[test]
 fn fig06_firestarter_throttling_reproduces() {
-    let cfg = e::fig06_firestarter::Config { duration_s: 1.0, sample_interval_s: 0.25, boost: false };
+    let cfg =
+        e::fig06_firestarter::Config { duration_s: 1.0, sample_interval_s: 0.25, boost: false };
     let r = e::fig06_firestarter::run(&cfg, 1007);
     assert!((r.smt.freq_ghz - 2.03).abs() < 0.05);
     assert!((r.no_smt.freq_ghz - 2.10).abs() < 0.05);
@@ -115,8 +121,7 @@ fn fig10_hamming_weight_reproduces() {
     let vx = e::fig10_hamming::run(&cfg, 1011, KernelClass::VXorps);
     assert!((vx.ac_w.mean_spread() - 21.0).abs() < 4.0, "AC spread {}", vx.ac_w.mean_spread());
     assert!(!vx.ac_w.distributions_overlap());
-    let rel = vx.rapl_core0_w.mean_spread()
-        / zen2_ee::sim::methodology::mean(&vx.rapl_core0_w.w05);
+    let rel = vx.rapl_core0_w.mean_spread() / zen2_ee::sim::methodology::mean(&vx.rapl_core0_w.w05);
     assert!(rel < 0.005, "RAPL relative spread {rel}");
     let shr = e::fig10_hamming::run(&cfg, 1012, KernelClass::Shr);
     let shr_rel = shr.ac_w.mean_spread() / zen2_ee::sim::methodology::mean(&shr.ac_w.w05);

@@ -150,9 +150,7 @@ fn validation_rejects_bad_scenarios_before_simulating() {
 
     let mut offline_workload = Scenario::new();
     offline_workload.at(0).online(ThreadId(3), false);
-    offline_workload
-        .at_secs(0.1)
-        .workload(ThreadId(3), KernelClass::BusyWait, OperandWeight::HALF);
+    offline_workload.at_secs(0.1).workload(ThreadId(3), KernelClass::BusyWait, OperandWeight::HALF);
     assert!(offline_workload.validate(&cfg).is_err());
 
     let mut backwards = Scenario::new();
@@ -223,9 +221,7 @@ fn validation_rejects_bad_scenarios_before_simulating() {
     assert!(sleeps_again.validate(&cfg).is_ok());
 
     // Errors surface through Session with the case attributed.
-    let err = Session::new()
-        .run(&[Case::new("broken", cfg, bad_thread, 1)])
-        .unwrap_err();
+    let err = Session::new().run(&[Case::new("broken", cfg, bad_thread, 1)]).unwrap_err();
     assert_eq!(err.case, "broken");
     assert!(matches!(err.kind, SessionErrorKind::InvalidScenario(_)));
 }
@@ -259,9 +255,7 @@ fn inverted_windows_are_rejected_for_every_probe_family() {
         // ...and the rejection carries the case label through a Session.
         let mut sc = Scenario::new();
         sc.probe("w", probe, Window::span(100, 50));
-        let err = Session::new()
-            .run(&[Case::new("inverted", cfg.clone(), sc, 1)])
-            .unwrap_err();
+        let err = Session::new().run(&[Case::new("inverted", cfg.clone(), sc, 1)]).unwrap_err();
         assert_eq!(err.case, "inverted");
     }
 }
@@ -333,4 +327,53 @@ fn ported_experiment_scenarios_are_worker_count_invariant() {
     assert_eq!(serial, parallel);
     assert_eq!(serial, oversubscribed);
     assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// Streaming sweeps must reduce to *bit-identical* statistics for any
+/// worker count and any shard size: the sink sees runs in case order
+/// regardless of scheduling, so order-sensitive floating-point
+/// accumulation (Welford, P² quantiles, residency histograms) cannot
+/// drift with parallelism.
+#[test]
+fn streamed_sweep_statistics_are_worker_and_shard_invariant() {
+    use zen2_sim::time::MILLISECOND;
+
+    let mut base = Scenario::new();
+    base.at(0)
+        .workload(ThreadId(0), KernelClass::BusyWait, OperandWeight::HALF)
+        .pstate(ThreadId(0), 2200)
+        .pstate(ThreadId(1), 2200);
+    base.at(10 * MILLISECOND).pstate(ThreadId(0), 1500).pstate(ThreadId(1), 1500);
+    base.probe("ac", Probe::AcTrueMeanW, Window::span(0, 30 * MILLISECOND));
+    base.probe(
+        "events",
+        Probe::TraceEvents(EventFilter::Freq(CoreId(0))),
+        Window::span(0, 30 * MILLISECOND),
+    );
+    let sweep = Sweep::new("invariance", SimConfig::epyc_7502_2s())
+        .scenario(base)
+        .seed(99)
+        .axis(Axis::param("rep", (0..12).map(f64::from)));
+
+    let reduce = |workers: usize, shard: usize| {
+        let mut watts = OnlineStats::new();
+        let mut residency = FreqResidency::new();
+        let mut transitions = TransitionStats::new();
+        let n = sweep
+            .stream(&Session::new().workers(workers).shard_size(shard), |_, run| {
+                watts.push(run.watts("ac"));
+                let records = run.events("events");
+                residency.observe(records, 0, 30 * MILLISECOND);
+                transitions.observe(records);
+            })
+            .unwrap();
+        assert_eq!(n, 12, "workers {workers} shard {shard}");
+        (watts, residency, transitions)
+    };
+
+    let baseline = reduce(1, 1);
+    for (workers, shard) in [(2, 1), (2, 5), (7, 1), (7, 3), (7, 64), (1, 12)] {
+        let other = reduce(workers, shard);
+        assert_eq!(baseline, other, "workers {workers} shard {shard}");
+    }
 }

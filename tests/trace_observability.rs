@@ -17,11 +17,7 @@ fn throttle_descent_is_visible_in_the_trace() {
         Probe::TraceEvents(EventFilter::CapChanged(SocketId(0))),
         Window::span_secs(0.0, 0.1),
     );
-    sc.probe(
-        "freq",
-        Probe::TraceEvents(EventFilter::Freq(CoreId(0))),
-        Window::span_secs(0.0, 0.1),
-    );
+    sc.probe("freq", Probe::TraceEvents(EventFilter::Freq(CoreId(0))), Window::span_secs(0.0, 0.1));
     let run = System::new(SimConfig::epyc_7502_2s(), 3001).run_scenario(&sc).unwrap();
 
     // The controller must have stepped the cap down repeatedly...
