@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use core::ops::{Range, RangeInclusive};
 
-/// Admissible length specifications for [`vec`].
+/// Admissible length specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,

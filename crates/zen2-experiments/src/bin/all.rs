@@ -1,75 +1,65 @@
 //! Runs every experiment and prints the full paper-vs-measured report.
-//! Pass `--paper` for the paper's full sample counts (slow).
+//! Pass `--paper` for the paper's full sample counts (slow); `--json`
+//! emits every experiment's summary tables as one machine-readable
+//! JSON array (text mode still prints each report as it completes).
 use zen2_experiments as e;
+use zen2_experiments::report::{tables_to_json, Table};
 use zen2_experiments::Scale;
 use zen2_isa::KernelClass;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("=== zen2-ee: full experiment suite ({scale:?} scale) ===\n");
-    print!("{}", e::fig01_green500::render(&e::fig01_green500::run()));
-    print!(
-        "{}",
-        e::fig03_transition::render(&e::fig03_transition::run(
-            &e::fig03_transition::Config::fig3(scale),
-            1
-        ))
-    );
-    print!(
-        "{}",
-        e::tab1_mixed_freq::render(&e::tab1_mixed_freq::run(
-            &e::tab1_mixed_freq::Config::new(scale),
-            2
-        ))
-    );
-    print!(
-        "{}",
-        e::fig04_l3_latency::render(&e::fig04_l3_latency::run(
-            &e::fig04_l3_latency::Config::new(scale),
-            3
-        ))
-    );
-    print!("{}", e::fig05_membw::render(&e::fig05_membw::run(4)));
-    print!(
-        "{}",
-        e::fig06_firestarter::render(&e::fig06_firestarter::run(
-            &e::fig06_firestarter::Config::new(scale),
-            5
-        ))
-    );
-    print!(
-        "{}",
-        e::fig07_idle_power::render(&e::fig07_idle_power::run(
-            &e::fig07_idle_power::Config::new(scale),
-            6
-        ))
-    );
-    print!(
-        "{}",
-        e::fig08_wakeup::render(&e::fig08_wakeup::run(&e::fig08_wakeup::Config::new(scale), 7))
-    );
-    print!(
-        "{}",
-        e::fig09_rapl_quality::render(&e::fig09_rapl_quality::run(
-            &e::fig09_rapl_quality::Config::new(scale),
-            8
-        ))
-    );
+    let json = std::env::args().any(|a| a == "--json");
+    // In text mode each experiment's report prints as soon as it
+    // finishes (a --paper run takes a while); --json collects every
+    // table and emits one array at the end.
+    let mut tables: Vec<Table> = Vec::new();
+    let mut emit = |text: String, mut experiment_tables: Vec<Table>| {
+        if json {
+            tables.append(&mut experiment_tables);
+        } else {
+            print!("{text}");
+        }
+    };
+
+    if !json {
+        println!("=== zen2-ee: full experiment suite ({scale:?} scale) ===\n");
+    }
+    let fig01 = e::fig01_green500::run();
+    emit(e::fig01_green500::render(&fig01), e::fig01_green500::tables(&fig01));
+    let fig03 = e::fig03_transition::run(&e::fig03_transition::Config::fig3(scale), 1);
+    emit(e::fig03_transition::render(&fig03), e::fig03_transition::tables(&fig03));
+    let tab1 = e::tab1_mixed_freq::run(&e::tab1_mixed_freq::Config::new(scale), 2);
+    emit(e::tab1_mixed_freq::render(&tab1), e::tab1_mixed_freq::tables(&tab1));
+    let fig04 = e::fig04_l3_latency::run(&e::fig04_l3_latency::Config::new(scale), 3);
+    emit(e::fig04_l3_latency::render(&fig04), e::fig04_l3_latency::tables(&fig04));
+    let fig05 = e::fig05_membw::run(4);
+    emit(e::fig05_membw::render(&fig05), e::fig05_membw::tables(&fig05));
+    let fig06 = e::fig06_firestarter::run(&e::fig06_firestarter::Config::new(scale), 5);
+    emit(e::fig06_firestarter::render(&fig06), e::fig06_firestarter::tables(&fig06));
+    let fig07 = e::fig07_idle_power::run(&e::fig07_idle_power::Config::new(scale), 6);
+    emit(e::fig07_idle_power::render(&fig07), e::fig07_idle_power::tables(&fig07));
+    let fig08 = e::fig08_wakeup::run(&e::fig08_wakeup::Config::new(scale), 7);
+    emit(e::fig08_wakeup::render(&fig08), e::fig08_wakeup::tables(&fig08));
+    let fig09 = e::fig09_rapl_quality::run(&e::fig09_rapl_quality::Config::new(scale), 8);
+    emit(e::fig09_rapl_quality::render(&fig09), e::fig09_rapl_quality::tables(&fig09));
     let f10 = e::fig10_hamming::Config::new(scale);
-    print!("{}", e::fig10_hamming::render(&e::fig10_hamming::run(&f10, 9, KernelClass::VXorps)));
-    print!("{}", e::fig10_hamming::render(&e::fig10_hamming::run(&f10, 10, KernelClass::Shr)));
-    print!("{}", e::sec5a_sibling::render(&e::sec5a_sibling::run(11)));
-    print!("{}", e::sec6b_offline::render(&e::sec6b_offline::run(12)));
-    print!(
-        "{}",
-        e::sec7_update_rate::render(&e::sec7_update_rate::run(
-            &e::sec7_update_rate::Config::default(),
-            13
-        ))
-    );
-    print!(
-        "{}",
-        e::ext_manycore::render(&e::ext_manycore::run(&e::ext_manycore::Config::new(scale), 14))
-    );
-    print!("{}", e::ext_cstate_breakeven::render(&e::ext_cstate_breakeven::run(15)));
+    let fig10_vxorps = e::fig10_hamming::run(&f10, 9, KernelClass::VXorps);
+    emit(e::fig10_hamming::render(&fig10_vxorps), e::fig10_hamming::tables(&fig10_vxorps));
+    let fig10_shr = e::fig10_hamming::run(&f10, 10, KernelClass::Shr);
+    emit(e::fig10_hamming::render(&fig10_shr), e::fig10_hamming::tables(&fig10_shr));
+    let sec5a = e::sec5a_sibling::run(11);
+    emit(e::sec5a_sibling::render(&sec5a), e::sec5a_sibling::tables(&sec5a));
+    let sec6b = e::sec6b_offline::run(12);
+    emit(e::sec6b_offline::render(&sec6b), e::sec6b_offline::tables(&sec6b));
+    let sec7 = e::sec7_update_rate::run(&e::sec7_update_rate::Config::default(), 13);
+    emit(e::sec7_update_rate::render(&sec7), e::sec7_update_rate::tables(&sec7));
+    let manycore = e::ext_manycore::run(&e::ext_manycore::Config::new(scale), 14);
+    emit(e::ext_manycore::render(&manycore), e::ext_manycore::tables(&manycore));
+    let breakeven = e::ext_cstate_breakeven::run(15);
+    emit(e::ext_cstate_breakeven::render(&breakeven), e::ext_cstate_breakeven::tables(&breakeven));
+
+    if json {
+        println!("{}", tables_to_json(&tables));
+    }
 }

@@ -1,5 +1,7 @@
 //! Prints the informed C-state break-even analysis (extension).
-use zen2_experiments::ext_cstate_breakeven as exp;
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{ext_cstate_breakeven as exp, report};
 fn main() {
-    print!("{}", exp::render(&exp::run(0xB4EA)));
+    let r = exp::run(0xB4EA);
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,12 +1,8 @@
 //! Runs the many-core throttling prediction (paper SS VIII future work)
-//! through the streaming sweep engine. `--json` emits the summary table
-//! as machine-readable JSON instead of text.
-use zen2_experiments::{ext_manycore as exp, Scale};
+//! through the streaming sweep engine. `--json` emits the summary
+//! tables as machine-readable JSON.
+use zen2_experiments::{ext_manycore as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xE87);
-    if std::env::args().any(|a| a == "--json") {
-        println!("{}", exp::table(&r).to_json());
-    } else {
-        print!("{}", exp::render(&r));
-    }
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 4 (L3 latency under mixed frequencies).
-use zen2_experiments::{fig04_l3_latency as exp, Scale};
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{fig04_l3_latency as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF164);
-    print!("{}", exp::render(&r));
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 5 (I/O-die P-state and DRAM frequency sweep).
-use zen2_experiments::fig05_membw as exp;
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{fig05_membw as exp, report};
 fn main() {
-    print!("{}", exp::render(&exp::run(0xF165)));
+    let r = exp::run(0xF165);
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

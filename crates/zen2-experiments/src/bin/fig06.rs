@@ -1,6 +1,8 @@
-//! Regenerates Fig. 6 (FIRESTARTER throttling with and without SMT).
-use zen2_experiments::{fig06_firestarter as exp, Scale};
+//! Regenerates Fig. 6 (FIRESTARTER throttling with and without SMT)
+//! through the streaming sweep engine. `--json` emits the summary
+//! tables as machine-readable JSON.
+use zen2_experiments::{fig06_firestarter as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF166);
-    print!("{}", exp::render(&r));
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,6 +1,8 @@
-//! Regenerates Fig. 7 (idle-state power staircase).
-use zen2_experiments::{fig07_idle_power as exp, Scale};
+//! Regenerates Fig. 7 (idle-state power staircase) through the
+//! streaming sweep engine. `--json` emits the summary tables as
+//! machine-readable JSON.
+use zen2_experiments::{fig07_idle_power as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF167);
-    print!("{}", exp::render(&r));
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,6 +1,7 @@
 //! Regenerates Fig. 8 (C-state wakeup latencies).
-use zen2_experiments::{fig08_wakeup as exp, Scale};
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{fig08_wakeup as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF168);
-    print!("{}", exp::render(&r));
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,6 +1,8 @@
-//! Regenerates Fig. 9 (RAPL quality vs the AC reference).
-use zen2_experiments::{fig09_rapl_quality as exp, Scale};
+//! Regenerates Fig. 9 (RAPL quality vs the AC reference) through the
+//! streaming sweep engine. `--json` emits the scatter table as
+//! machine-readable JSON.
+use zen2_experiments::{fig09_rapl_quality as exp, report, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF169);
-    print!("{}", exp::render(&r));
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

@@ -1,9 +1,15 @@
 //! Regenerates Fig. 10 (operand-Hamming-weight power ECDFs), for both the
-//! 256-bit vxorps sweep and the 64-bit shr contrast.
-use zen2_experiments::{fig10_hamming as exp, Scale};
+//! 256-bit vxorps sweep and the 64-bit shr contrast, through the
+//! streaming sweep engine. `--json` emits both summary tables as
+//! machine-readable JSON.
+use zen2_experiments::{fig10_hamming as exp, report, Scale};
 use zen2_isa::KernelClass;
 fn main() {
     let cfg = exp::Config::new(Scale::from_args());
-    print!("{}", exp::render(&exp::run(&cfg, 0xF1610, KernelClass::VXorps)));
-    print!("{}", exp::render(&exp::run(&cfg, 0xF1611, KernelClass::Shr)));
+    let vxorps = exp::run(&cfg, 0xF1610, KernelClass::VXorps);
+    let shr = exp::run(&cfg, 0xF1611, KernelClass::Shr);
+    report::emit(
+        || format!("{}{}", exp::render(&vxorps), exp::render(&shr)),
+        || exp::tables(&vxorps).into_iter().chain(exp::tables(&shr)).collect(),
+    );
 }

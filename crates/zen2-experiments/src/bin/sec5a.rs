@@ -1,6 +1,7 @@
 //! Regenerates the §V-A observation (idle/offline sibling raises the core
-//! frequency).
-use zen2_experiments::sec5a_sibling as exp;
+//! frequency). `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{report, sec5a_sibling as exp};
 fn main() {
-    print!("{}", exp::render(&exp::run(0x5EC5A)));
+    let r = exp::run(0x5EC5A);
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

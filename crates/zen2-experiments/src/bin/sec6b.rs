@@ -1,5 +1,7 @@
 //! Regenerates the §VI-B observation (offline threads block package C6).
-use zen2_experiments::sec6b_offline as exp;
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{report, sec6b_offline as exp};
 fn main() {
-    print!("{}", exp::render(&exp::run(0x5EC6B)));
+    let r = exp::run(0x5EC6B);
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

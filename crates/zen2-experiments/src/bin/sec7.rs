@@ -1,5 +1,7 @@
 //! Regenerates the §VII RAPL update-rate measurement.
-use zen2_experiments::sec7_update_rate as exp;
+//! `--json` emits the summary tables as machine-readable JSON.
+use zen2_experiments::{report, sec7_update_rate as exp};
 fn main() {
-    print!("{}", exp::render(&exp::run(&exp::Config::default(), 0x5EC7)));
+    let r = exp::run(&exp::Config::default(), 0x5EC7);
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

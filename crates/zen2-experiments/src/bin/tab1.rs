@@ -1,12 +1,8 @@
 //! Regenerates Table I (mixed frequencies on one CCX) through the
-//! streaming sweep engine. `--json` emits the summary table as
-//! machine-readable JSON instead of text.
-use zen2_experiments::{tab1_mixed_freq as exp, Scale};
+//! streaming sweep engine. `--json` emits the summary tables as
+//! machine-readable JSON.
+use zen2_experiments::{report, tab1_mixed_freq as exp, Scale};
 fn main() {
     let r = exp::run(&exp::Config::new(Scale::from_args()), 0x7AB1);
-    if std::env::args().any(|a| a == "--json") {
-        println!("{}", exp::table(&r).to_json());
-    } else {
-        print!("{}", exp::render(&r));
-    }
+    report::emit(|| exp::render(&r), || exp::tables(&r));
 }

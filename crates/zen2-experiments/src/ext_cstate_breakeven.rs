@@ -98,6 +98,18 @@ pub fn run(seed: u64) -> BreakEvenResult {
 
 /// Renders the governor guidance table.
 pub fn render(r: &BreakEvenResult) -> String {
+    let mut out = tables(r)[0].render();
+    out.push_str(&format!(
+        "system view: the *last* thread entering C2 additionally unlocks PC6 worth {:.1} W —\n\
+         three orders of magnitude above any per-core consideration, which is why the paper's\n\
+         first recommendation is to never block the deepest state.\n",
+        r.pc6_step_w
+    ));
+    out
+}
+
+/// The guidance as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &BreakEvenResult) -> Vec<Table> {
     let mut t = Table::new(
         "Extension — informed C-state break-even (what the ACPI tables cannot tell the governor)",
         &[
@@ -117,14 +129,7 @@ pub fn render(r: &BreakEvenResult) -> String {
             format!("{:.0}", row.acpi_breakeven_us),
         ]);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
-        "system view: the *last* thread entering C2 additionally unlocks PC6 worth {:.1} W —\n\
-         three orders of magnitude above any per-core consideration, which is why the paper's\n\
-         first recommendation is to never block the deepest state.\n",
-        r.pc6_step_w
-    ));
-    out
+    vec![t]
 }
 
 #[cfg(test)]

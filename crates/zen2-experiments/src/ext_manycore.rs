@@ -132,6 +132,11 @@ pub fn render(r: &ManyCoreResult) -> String {
     out
 }
 
+/// [`table`] in the uniform multi-table shape every binary emits.
+pub fn tables(r: &ManyCoreResult) -> Vec<Table> {
+    vec![table(r)]
+}
+
 /// The summary as a [`Table`] (for text, CSV, or JSON output).
 pub fn table(r: &ManyCoreResult) -> Table {
     let mut t = Table::new(

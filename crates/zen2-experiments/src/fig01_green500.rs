@@ -75,6 +75,11 @@ pub fn run() -> Vec<ArchSummary> {
 
 /// Renders the Fig. 1 summary.
 pub fn render(summaries: &[ArchSummary]) -> String {
+    tables(summaries).iter().map(Table::render).collect()
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(summaries: &[ArchSummary]) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 1 — Green500 2021/07 power efficiency by x86 architecture [GFlops/W]",
         &["architecture", "systems", "min", "median", "max", "mean"],
@@ -89,7 +94,7 @@ pub fn render(summaries: &[ArchSummary]) -> String {
             format!("{:.2}", s.mean),
         ]);
     }
-    t.render()
+    vec![t]
 }
 
 #[cfg(test)]

@@ -222,6 +222,23 @@ pub fn run(cfg: &Config, seed: u64) -> Fig3Result {
 
 /// Renders the paper-style summary.
 pub fn render(result: &Fig3Result) -> String {
+    let tables = tables(result);
+    let mut out = tables[0].render();
+    out.push_str(&format!(
+        "plateau uniformity (CV over 400-1375 us bins): {:.3}\n",
+        result.plateau_cv
+    ));
+    out.push_str(&format!(
+        "paper vs measured mean (down): {}\n",
+        compare(890.0, result.down.mean_us, " us")
+    ));
+    out.push_str(&tables[1].render());
+    out
+}
+
+/// The summary and histogram as [`Table`]s (for text, CSV, or JSON
+/// output).
+pub fn tables(result: &Fig3Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 3 — frequency transition delays (paper: uniform 390-1390 us for 2.2->1.5 GHz)",
         &["direction", "min [us]", "max [us]", "mean [us]", "fast-path fraction"],
@@ -235,21 +252,11 @@ pub fn render(result: &Fig3Result) -> String {
             format!("{:.3}", d.fast_fraction),
         ]);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
-        "plateau uniformity (CV over 400-1375 us bins): {:.3}\n",
-        result.plateau_cv
-    ));
-    out.push_str(&format!(
-        "paper vs measured mean (down): {}\n",
-        compare(890.0, result.down.mean_us, " us")
-    ));
     let mut hist = Table::new("Fig. 3 histogram (25 us bins)", &["bin start [us]", "count"]);
     for (i, &c) in result.histogram_counts.iter().enumerate() {
         hist.row(&[format!("{}", i * 25), format!("{c}")]);
     }
-    out.push_str(&hist.render());
-    out
+    vec![t, hist]
 }
 
 #[cfg(test)]

@@ -117,6 +117,17 @@ pub fn run(cfg: &Config, seed: u64) -> Fig4Result {
 
 /// Renders the paper-style matrix.
 pub fn render(result: &Fig4Result) -> String {
+    let mut out = tables(result)[0].render();
+    out.push_str(&format!(
+        "worst deviation {:.1}% (documented 2.2/2.5 cell: {:.1}%)\n",
+        result.worst_rel_err * 100.0,
+        result.outlier_cell_rel_err * 100.0
+    ));
+    out
+}
+
+/// The matrix as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(result: &Fig4Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 4 — L3 latency [ns] in a mixed-frequency CCX, paper / measured",
         &["reader \\ others", "1.5 GHz", "2.2 GHz", "2.5 GHz"],
@@ -128,13 +139,7 @@ pub fn render(result: &Fig4Result) -> String {
         }
         t.row(&row);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
-        "worst deviation {:.1}% (documented 2.2/2.5 cell: {:.1}%)\n",
-        result.worst_rel_err * 100.0,
-        result.outlier_cell_rel_err * 100.0
-    ));
-    out
+    vec![t]
 }
 
 #[cfg(test)]

@@ -120,6 +120,17 @@ pub fn run(seed: u64) -> Fig5Result {
 
 /// Renders both heatmaps as paper/measured tables.
 pub fn render(result: &Fig5Result) -> String {
+    let mut out: String = tables(result).iter().map(Table::render).collect();
+    out.push_str(&format!(
+        "worst deviation: bandwidth {:.1}%, latency {:.1}%\n",
+        result.worst_bw_rel_err * 100.0,
+        result.worst_lat_rel_err * 100.0
+    ));
+    out
+}
+
+/// Both heatmaps as [`Table`]s (for text, CSV, or JSON output).
+pub fn tables(result: &Fig5Result) -> Vec<Table> {
     let mut bw = Table::new(
         "Fig. 5a — STREAM triad bandwidth [GB/s], paper / measured",
         &["IOD P-state", "DRAM", "1 core", "2 cores", "3 cores", "4 cores", "4 (2 CCX)"],
@@ -145,14 +156,7 @@ pub fn render(result: &Fig5Result) -> String {
             format!("{:.0} / {:.1}", PAPER_LAT[pi][1], result.cells[pi * 2 + 1].latency_ns),
         ]);
     }
-    let mut out = bw.render();
-    out.push_str(&lat.render());
-    out.push_str(&format!(
-        "worst deviation: bandwidth {:.1}%, latency {:.1}%\n",
-        result.worst_bw_rel_err * 100.0,
-        result.worst_lat_rel_err * 100.0
-    ));
-    out
+    vec![bw, lat]
 }
 
 #[cfg(test)]

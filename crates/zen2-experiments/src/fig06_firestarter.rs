@@ -6,19 +6,20 @@
 //! two minutes and measure frequency and throughput with perf stat ...
 //! We exclude data for the first 5 s and last 2 s."
 //!
-//! Both SMT modes are declarative [`Scenario`]s run as one [`Session`]
-//! batch: the pre-heat, the perf-stat sampling cadence, the AC window and
-//! the trailing RAPL poll are all recorded as data.
+//! Both SMT modes are declarative [`Scenario`]s on one SMT [`Axis`] of a
+//! [`Sweep`] streamed through the [`Session`] worker pool: the pre-heat,
+//! the perf-stat sampling cadence, the AC window and the trailing RAPL
+//! poll are all recorded as data, and the per-mode rows come back
+//! through a [`GroupedStats`] bucket keyed by the SMT axis.
 
 use crate::report::{compare, compare_precise, Table};
-use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::{mean, std_dev};
 use zen2_sim::perf::ThreadCounters;
 use zen2_sim::time::from_secs;
-use zen2_sim::{Case, Probe, Run, Scenario, Session, SimConfig, Window};
+use zen2_sim::{Axis, GroupedStats, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
 use zen2_topology::{SocketId, ThreadId};
 
 /// Paper reference values for one SMT mode.
@@ -148,22 +149,58 @@ fn reduce(run: &Run, smt: bool) -> ModeResult {
     }
 }
 
-/// Runs both SMT modes (in parallel, via a [`Session`]).
-pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
+/// The SMT axis's values, in presentation order: `(label, smt)`. The
+/// single source of truth for [`sweep`]'s axis and the per-case SMT
+/// flag the sink hands to `reduce`.
+const SMT_MODES: [(&str, bool); 2] = [("on", true), ("off", false)];
+
+/// The two SMT modes as a declarative [`Sweep`]: one axis whose values
+/// swap in the per-mode scenario ("on" first, matching the paper's
+/// presentation order).
+pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
     let mut sim_cfg = SimConfig::epyc_7502_2s();
     if cfg.boost {
         sim_cfg.controller.boost_max_mhz = Some(3350);
     }
-    let cases = vec![
-        Case::new("smt", sim_cfg.clone(), scenario(cfg, true), seeds::child(seed, 0)),
-        Case::new("no-smt", sim_cfg, scenario(cfg, false), seeds::child(seed, 1)),
-    ];
-    let runs = Session::new().run(&cases).expect("fig06 scenarios validate");
-    Fig6Result { smt: reduce(&runs[0], true), no_smt: reduce(&runs[1], false) }
+    let mut axis = Axis::new("smt");
+    for (label, smt) in SMT_MODES {
+        let sc = scenario(cfg, smt);
+        axis = axis.with(label, move |draft| draft.scenario = sc.clone());
+    }
+    Sweep::new("fig06", sim_cfg).seed(seed).axis(axis)
+}
+
+/// Runs both SMT modes through the streaming sweep engine.
+pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
+    run_with(cfg, seed, &Session::new())
+}
+
+/// [`run`] on an explicit session (the worker/shard-invariance hook).
+fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig6Result {
+    let sweep = sweep(cfg, seed);
+    let mut modes: GroupedStats<Option<ModeResult>> = GroupedStats::new(&sweep, &["smt"]);
+    sweep
+        .stream(session, |i, run| *modes.entry(i) = Some(reduce(&run, SMT_MODES[i].1)))
+        .expect("fig06 scenarios validate");
+    let mode = |label| modes.get(&[label]).and_then(Clone::clone).expect("both modes streamed");
+    Fig6Result { smt: mode("on"), no_smt: mode("off") }
 }
 
 /// Renders the paper-style comparison.
 pub fn render(r: &Fig6Result) -> String {
+    let mut out = String::new();
+    for t in tables(r) {
+        out.push_str(&t.render());
+    }
+    out.push_str(&format!(
+        "true package power (TDP 180 W): SMT {:.1} W, no-SMT {:.1} W — RAPL under-reports\n",
+        r.smt.true_pkg_w, r.no_smt.true_pkg_w
+    ));
+    out
+}
+
+/// The summary as [`Table`]s (for text, CSV, or JSON output).
+pub fn tables(r: &Fig6Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 6 — FIRESTARTER at nominal 2.5 GHz, paper / measured",
         &["metric", "with SMT", "without SMT"],
@@ -193,12 +230,7 @@ pub fn render(r: &Fig6Result) -> String {
         format!("{:.2} (paper 3.04)", r.smt.freq_std_mhz),
         format!("{:.2} (paper 0.82)", r.no_smt.freq_std_mhz),
     ]);
-    let mut out = t.render();
-    out.push_str(&format!(
-        "true package power (TDP 180 W): SMT {:.1} W, no-SMT {:.1} W — RAPL under-reports\n",
-        r.smt.true_pkg_w, r.no_smt.true_pkg_w
-    ));
-    out
+    vec![t]
 }
 
 #[cfg(test)]
@@ -207,6 +239,30 @@ mod tests {
 
     fn quick() -> Config {
         Config { duration_s: 1.0, sample_interval_s: 0.2, boost: false }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the same two cases
+        // built by hand (as the module did before the sweep engine) and
+        // run materialized produce byte-identical paper-comparison
+        // output, for more than one worker/shard split.
+        use zen2_sim::{sweep::child_seed, Case};
+        let cfg = quick();
+        let seed = 55;
+        let sim_cfg = SimConfig::epyc_7502_2s();
+        let cases = vec![
+            Case::new("smt", sim_cfg.clone(), scenario(&cfg, true), child_seed(seed, 0)),
+            Case::new("no-smt", sim_cfg, scenario(&cfg, false), child_seed(seed, 1)),
+        ];
+        let runs = Session::new().run(&cases).unwrap();
+        let materialized =
+            Fig6Result { smt: reduce(&runs[0], true), no_smt: reduce(&runs[1], false) };
+        for (workers, shard) in [(1, 1), (7, 64)] {
+            let streamed = run_with(&cfg, seed, &Session::new().workers(workers).shard_size(shard));
+            assert_eq!(render(&streamed), render(&materialized), "workers {workers} shard {shard}");
+        }
+        assert_eq!(tables(&run(&cfg, seed))[0].to_json(), tables(&materialized)[0].to_json());
     }
 
     #[test]

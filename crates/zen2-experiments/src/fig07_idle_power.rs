@@ -8,15 +8,19 @@
 //!   logical CPUs, at 1.5 / 2.2 / 2.5 GHz;
 //! * the all-C2 baseline.
 //!
-//! Every configuration is one declarative [`Scenario`]; the whole sweep is
-//! a single [`Session`] batch.
+//! Every configuration is one declarative [`Scenario`]; the whole grid is
+//! a two-axis [`Sweep`] (sweep kind × thread count) streamed through the
+//! [`Session`] worker pool, with the curves folded out of a
+//! [`GroupedStats`] bucket keyed by both axes.
 
 use crate::report::{compare, Table};
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_sim::{
+    Axis, GroupedStats, OnlineStats, Probe, Scenario, Session, SimConfig, Sweep, Window,
+};
 use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
 /// Paper reference points.
@@ -122,41 +126,86 @@ fn scenario(
     sc
 }
 
-/// Runs all sweeps as one parallel [`Session`] batch.
+/// The sweep kinds in presentation order: C1 first, then one active
+/// pause sweep per configured frequency.
+fn kinds(cfg: &Config) -> Vec<SweepKind> {
+    let mut kinds = vec![SweepKind::C1];
+    kinds.extend(cfg.freqs_mhz.iter().map(|&f| SweepKind::ActivePause(f)));
+    kinds
+}
+
+/// The full staircase grid as a declarative [`Sweep`]: a kind axis
+/// (outermost, like the figure's curves) crossed with a thread-count
+/// axis, the joint cell scenario built in the finish hook. The seed
+/// derivation reproduces the module's historical per-case seeds
+/// (`child(seed, kind_index * 1000 + count_index)`).
+pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
+    let sim_cfg = SimConfig::epyc_7502_2s();
+    let numbering = CpuNumbering::linux_default(&sim_cfg.topology);
+    let kinds = kinds(cfg);
+    let mut kind_axis = Axis::new("kind");
+    for (ki, kind) in kinds.iter().enumerate() {
+        kind_axis =
+            kind_axis.with(format!("{kind:?}"), move |draft| draft.set_param("kind", ki as f64));
+    }
+    let count_axis = Axis::param("threads", cfg.thread_counts.iter().map(|&count| count as f64));
+    let counts = cfg.thread_counts.len().max(1) as u64;
+    let cfg = cfg.clone();
+    Sweep::new("fig07", sim_cfg)
+        .seed_fn(move |i| seeds::child(seed, (i / counts) * 1000 + i % counts))
+        .axis(kind_axis)
+        .axis(count_axis)
+        .finish(move |draft| {
+            let kind = kinds[draft.param("kind") as usize];
+            let count = draft.param("threads") as usize;
+            draft.scenario = scenario(&cfg, &numbering, Some(kind), count);
+        })
+}
+
+/// Runs the staircase through the streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64) -> Fig7Result {
+    run_with(cfg, seed, &Session::new())
+}
+
+/// [`run`] on an explicit session (the worker/shard-invariance hook).
+fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig7Result {
     let sim_cfg = SimConfig::epyc_7502_2s();
     let numbering = CpuNumbering::linux_default(&sim_cfg.topology);
 
-    let mut kinds = vec![SweepKind::C1];
-    kinds.extend(cfg.freqs_mhz.iter().map(|&f| SweepKind::ActivePause(f)));
-
-    let mut cases = vec![Case::new(
-        "baseline",
-        sim_cfg.clone(),
+    let sweep = sweep(cfg, seed);
+    let mut grouped: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["kind", "threads"]);
+    // The all-C2 baseline sits outside the kind × count seed layout
+    // (historical seed 999), so it rides along as one extra case
+    // appended to the grid stream, sharing the grid's booted prototype.
+    let baseline_case = zen2_sim::Case::new(
+        "fig07/baseline",
+        sim_cfg,
         scenario(cfg, &numbering, None, 0),
         seeds::child(seed, 999),
-    )];
-    for (ki, &kind) in kinds.iter().enumerate() {
-        for (ci, &count) in cfg.thread_counts.iter().enumerate() {
-            cases.push(Case::new(
-                format!("{kind:?}/{count}"),
-                sim_cfg.clone(),
-                scenario(cfg, &numbering, Some(kind), count),
-                seeds::child(seed, (ki * 1000 + ci) as u64),
-            ));
-        }
-    }
+    );
+    let grid_len = sweep.len();
+    let mut baseline_w = 0.0;
+    session
+        .run_streaming(sweep.cases().chain(std::iter::once(baseline_case)), |i, run| {
+            if i < grid_len {
+                grouped.entry(i).push(run.watts(AC));
+            } else {
+                baseline_w = run.watts(AC);
+            }
+        })
+        .expect("fig07 scenarios validate");
 
-    let runs = Session::new().run(&cases).expect("fig07 scenarios validate");
-    let baseline_w = runs[0].watts(AC);
-    let mut curves = Vec::new();
-    let mut next = 1;
-    for &kind in &kinds {
-        let ac_w: Vec<f64> =
-            runs[next..next + cfg.thread_counts.len()].iter().map(|r| r.watts(AC)).collect();
-        next += cfg.thread_counts.len();
-        curves.push(Curve { kind, thread_counts: cfg.thread_counts.clone(), ac_w });
-    }
+    // One grouped row per (kind, count) cell, in grid order — fold them
+    // back into the figure's per-kind curves.
+    let mut rows = grouped.rows();
+    let curves = kinds(cfg)
+        .into_iter()
+        .map(|kind| Curve {
+            kind,
+            thread_counts: cfg.thread_counts.clone(),
+            ac_w: rows.by_ref().take(cfg.thread_counts.len()).map(|(_, s)| s.mean()).collect(),
+        })
+        .collect();
     Fig7Result { baseline_w, curves }
 }
 
@@ -172,6 +221,11 @@ pub fn c1_staircase(result: &Fig7Result) -> (f64, f64) {
 
 /// Renders the summary and curves.
 pub fn render(result: &Fig7Result) -> String {
+    tables(result).iter().map(Table::render).collect()
+}
+
+/// The summary and curves as [`Table`]s (for text, CSV, or JSON output).
+pub fn tables(result: &Fig7Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 7 — idle-state power staircase, paper / measured",
         &["quantity", "paper / measured"],
@@ -189,7 +243,6 @@ pub fn render(result: &Fig7Result) -> String {
             compare(paper::FIRST_ACTIVE_W, active.ac_w[0], ""),
         ]);
     }
-    let mut out = t.render();
     let mut curves = Table::new(
         "Fig. 7 curves — AC power [W] vs threads not in C2",
         &["threads", "C1", "pause@1.5GHz", "pause@2.2GHz", "pause@2.5GHz"],
@@ -201,8 +254,7 @@ pub fn render(result: &Fig7Result) -> String {
         }
         curves.row(&row);
     }
-    out.push_str(&curves.render());
-    out
+    vec![t, curves]
 }
 
 #[cfg(test)]
@@ -214,6 +266,56 @@ mod tests {
             duration_s: 0.2,
             thread_counts: vec![1, 2, 4, 64, 65, 128],
             freqs_mhz: vec![1500, 2500],
+        }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the same case list
+        // built by hand (as the module did before the sweep engine —
+        // baseline first, then kind-major cells with the historical
+        // `ki * 1000 + ci` seed layout) and run materialized produces
+        // identical curves, for more than one worker/shard split.
+        use zen2_sim::Case;
+        let cfg = quick();
+        let seed = 65;
+        let sim_cfg = SimConfig::epyc_7502_2s();
+        let numbering = CpuNumbering::linux_default(&sim_cfg.topology);
+        let kinds = super::kinds(&cfg);
+        let mut cases = vec![Case::new(
+            "baseline",
+            sim_cfg.clone(),
+            scenario(&cfg, &numbering, None, 0),
+            seeds::child(seed, 999),
+        )];
+        for (ki, &kind) in kinds.iter().enumerate() {
+            for (ci, &count) in cfg.thread_counts.iter().enumerate() {
+                cases.push(Case::new(
+                    format!("{kind:?}/{count}"),
+                    sim_cfg.clone(),
+                    scenario(&cfg, &numbering, Some(kind), count),
+                    seeds::child(seed, (ki * 1000 + ci) as u64),
+                ));
+            }
+        }
+        let runs = Session::new().run(&cases).unwrap();
+        let mut curves = Vec::new();
+        let mut next = 1;
+        for &kind in &kinds {
+            let ac_w: Vec<f64> =
+                runs[next..next + cfg.thread_counts.len()].iter().map(|r| r.watts(AC)).collect();
+            next += cfg.thread_counts.len();
+            curves.push(Curve { kind, thread_counts: cfg.thread_counts.clone(), ac_w });
+        }
+        let materialized = Fig7Result { baseline_w: runs[0].watts(AC), curves };
+
+        for (workers, shard) in [(1, 1), (7, 5)] {
+            let streamed = run_with(&cfg, seed, &Session::new().workers(workers).shard_size(shard));
+            assert_eq!(streamed.baseline_w, materialized.baseline_w);
+            for (s, m) in streamed.curves.iter().zip(&materialized.curves) {
+                assert_eq!(s.kind, m.kind);
+                assert_eq!(s.ac_w, m.ac_w, "workers {workers} shard {shard} kind {:?}", s.kind);
+            }
         }
     }
 

@@ -138,6 +138,11 @@ pub fn run(cfg: &Config, seed: u64) -> Fig8Result {
 
 /// Renders the paper-style table.
 pub fn render(r: &Fig8Result) -> String {
+    tables(r).iter().map(Table::render).collect()
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Fig8Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 8 — C-state wakeup latencies (paper: C1 ~1-1.5 us, C2 20-25 us; ACPI reports 1/400 us)",
         &["C-state", "freq [GHz]", "placement", "median [us]", "mean [us]", "p95 [us]", "max [us]"],
@@ -153,7 +158,7 @@ pub fn render(r: &Fig8Result) -> String {
             format!("{:.2}", d.max_us),
         ]);
     }
-    t.render()
+    vec![t]
 }
 
 /// Finds a distribution.

@@ -10,15 +10,20 @@
 //!
 //! Each grid point is a declarative [`Scenario`] (placement and pre-heat
 //! as steps, [`Probe::RaplW`] and [`Probe::AcTrueMeanW`] over the same
-//! window); the grid runs as one [`Session`] batch sharing a single
-//! booted prototype.
+//! window). The workload × placement × frequency cross product is a
+//! three-axis [`Sweep`] streamed through the [`Session`] worker pool
+//! (idle, which has no placement or frequency fan-out, runs as its own
+//! single-case grid), and the scatter rows come back through a
+//! [`GroupedStats`] bucket keyed by all three axes.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_sim::{
+    Axis, GroupedStats, OnlineStats, Probe, Run, Scenario, Session, SimConfig, Sweep, Window,
+};
 use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
 /// One experiment point.
@@ -111,52 +116,158 @@ pub fn point_scenario(
     sc
 }
 
-/// Runs the full grid as one [`Session`] batch.
-pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
-    let kernels = zen2_isa::WorkloadSet::paper();
-    let classes: Vec<KernelClass> = kernels.rapl_quality_set().iter().map(|k| k.class).collect();
-    let mut jobs = Vec::new();
-    for &class in &classes {
+/// The Fig. 9 workload set, in the paper's legend order.
+fn classes() -> Vec<KernelClass> {
+    zen2_isa::WorkloadSet::paper().rapl_quality_set().iter().map(|k| k.class).collect()
+}
+
+/// One scatter point's streamed measurements: AC reference, RAPL
+/// package sum, RAPL core sum (each a single observation per grid
+/// cell — [`OnlineStats::mean`] of one push is exact).
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CellStats {
+    ac: OnlineStats,
+    pkg: OnlineStats,
+    core: OnlineStats,
+}
+
+impl CellStats {
+    fn observe(&mut self, run: &Run) {
+        let (pkg, core) = run.watts_pair("rapl");
+        self.ac.push(run.watts("ac"));
+        self.pkg.push(pkg);
+        self.core.push(core);
+    }
+}
+
+/// The non-idle grid as a declarative [`Sweep`]: workload × placement ×
+/// frequency, the joint point scenario built in the finish hook. The
+/// seed derivation reproduces the module's historical flat job indices
+/// (idle — excluded here because it has no placement/frequency fan-out —
+/// occupies one index in that flat order).
+pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
+    let active: Vec<KernelClass> =
+        classes().into_iter().filter(|&c| c != KernelClass::Idle).collect();
+    let mut workload_axis = Axis::new("workload");
+    for (ci, class) in active.iter().enumerate() {
+        workload_axis =
+            workload_axis.with(class.name(), move |draft| draft.set_param("workload", ci as f64));
+    }
+    let mut placement_axis = Axis::new("placement");
+    for (pi, &(cores, smt)) in cfg.placements.iter().enumerate() {
+        let label = format!("{cores}c{}", if smt { "+smt" } else { "" });
+        placement_axis =
+            placement_axis.with(label, move |draft| draft.set_param("placement", pi as f64));
+    }
+    let freq_axis = Axis::param("freq", cfg.freqs_mhz.iter().map(|&mhz| mhz as f64));
+
+    let (_, flat) = flat_job_indices(cfg);
+    let cfg = cfg.clone();
+    let placements = cfg.placements.clone();
+    Sweep::new("fig09", SimConfig::epyc_7502_2s())
+        .seed_fn(move |i| seeds::child(seed, flat[i as usize]))
+        .axis(workload_axis)
+        .axis(placement_axis)
+        .axis(freq_axis)
+        .finish(move |draft| {
+            let class = active[draft.param("workload") as usize];
+            let (cores, smt) = placements[draft.param("placement") as usize];
+            draft.scenario = point_scenario(&cfg, class, cores, smt, draft.param("freq") as u32);
+        })
+}
+
+/// The historical flat job indices, in one pass over the legend order:
+/// the index of the single idle job, and the index of every non-idle
+/// sweep case in sweep (row-major) order. The pre-port code enumerated
+/// the workload set in legend order with idle as a single job in place,
+/// seeding each job by its flat position — both walks must agree, so
+/// they are derived together.
+fn flat_job_indices(cfg: &Config) -> (u64, Vec<u64>) {
+    let per_class = (cfg.placements.len() * cfg.freqs_mhz.len()) as u64;
+    let mut idle = None;
+    let mut flat = Vec::new();
+    let mut next = 0u64;
+    for class in classes() {
         if class == KernelClass::Idle {
-            jobs.push((class, 0usize, false, 2500u32));
+            idle = Some(next);
+            next += 1;
             continue;
         }
-        for &(cores, smt) in &cfg.placements {
+        flat.extend(next..next + per_class);
+        next += per_class;
+    }
+    (idle.expect("idle is part of the Fig. 9 workload set"), flat)
+}
+
+/// Runs the full grid through the streaming sweep engine.
+pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
+    run_with(cfg, seed, &Session::new())
+}
+
+/// [`run`] on an explicit session (the worker/shard-invariance hook).
+fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig9Result {
+    let sweep = sweep(cfg, seed);
+    let mut grouped: GroupedStats<CellStats> =
+        GroupedStats::new(&sweep, &["workload", "placement", "freq"]);
+    // Idle has no placement/frequency fan-out, so it rides along as one
+    // extra case appended to the grid stream (sharing the grid's booted
+    // prototype) at its historical flat-index seed.
+    let (idle_index, _) = flat_job_indices(cfg);
+    let idle_case = zen2_sim::Case::new(
+        "fig09/idle",
+        SimConfig::epyc_7502_2s(),
+        point_scenario(cfg, KernelClass::Idle, 0, false, 2500),
+        seeds::child(seed, idle_index),
+    );
+    let grid_len = sweep.len();
+    let mut idle = CellStats::default();
+    session
+        .run_streaming(sweep.cases().chain(std::iter::once(idle_case)), |i, run| {
+            if i < grid_len {
+                grouped.entry(i).observe(&run);
+            } else {
+                idle.observe(&run);
+            }
+        })
+        .expect("fig09 scenarios validate");
+
+    // Reassemble the scatter in the historical jobs order: the grouped
+    // rows arrive in grid order (workload-major), with idle spliced
+    // back in at its legend position.
+    let mut rows = grouped.rows();
+    let mut points = Vec::new();
+    for class in classes() {
+        if class == KernelClass::Idle {
+            points.push(point(class, 0, false, 2500, &idle));
+            continue;
+        }
+        for (cores, smt) in cfg.placements.iter().copied() {
             for &mhz in &cfg.freqs_mhz {
-                jobs.push((class, cores, smt, mhz));
+                let (_, cell) = rows.next().expect("one grouped row per grid cell");
+                points.push(point(class, cores, smt, mhz, cell));
             }
         }
     }
-    let cases: Vec<Case> = jobs
-        .iter()
-        .enumerate()
-        .map(|(i, &(class, cores, smt, mhz))| {
-            Case::new(
-                format!("{}-{cores}c-smt{smt}-{mhz}", class.name()),
-                SimConfig::epyc_7502_2s(),
-                point_scenario(cfg, class, cores, smt, mhz),
-                seeds::child(seed, i as u64),
-            )
-        })
-        .collect();
-    let runs = Session::new().run(&cases).expect("fig09 scenarios validate");
-    let points: Vec<Point> = jobs
-        .iter()
-        .zip(&runs)
-        .map(|(&(class, cores, smt, mhz), run)| {
-            let (rapl_pkg_w, rapl_core_w) = run.watts_pair("rapl");
-            Point {
-                workload: class.name().into(),
-                cores,
-                smt,
-                freq_mhz: mhz,
-                ac_w: run.watts("ac"),
-                rapl_pkg_w,
-                rapl_core_w,
-            }
-        })
-        .collect();
 
+    fit(points)
+}
+
+/// Builds one scatter [`Point`] from a grid cell's streamed statistics.
+fn point(class: KernelClass, cores: usize, smt: bool, mhz: u32, cell: &CellStats) -> Point {
+    Point {
+        workload: class.name().into(),
+        cores,
+        smt,
+        freq_mhz: mhz,
+        ac_w: cell.ac.mean(),
+        rapl_pkg_w: cell.pkg.mean(),
+        rapl_core_w: cell.core.mean(),
+    }
+}
+
+/// Fits `AC ≈ a·RAPL_pkg + b` over the scatter and derives the residual
+/// diagnostics.
+fn fit(points: Vec<Point>) -> Fig9Result {
     // Least squares AC = a*rapl + b.
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|p| p.rapl_pkg_w).sum();
@@ -184,6 +295,17 @@ pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
 
 /// Renders the scatter as a table plus fit statistics.
 pub fn render(r: &Fig9Result) -> String {
+    let mut out = tables(r)[0].render();
+    out.push_str(&format!(
+        "linear fit: AC = {:.2} x RAPL_pkg + {:.1} W; worst residual {:.1} W; \
+         mean memory-workload residual {:+.1} W (RAPL misses DRAM)\n",
+        r.fit_slope, r.fit_intercept_w, r.worst_residual_w, r.memory_residual_w
+    ));
+    out
+}
+
+/// The scatter as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Fig9Result) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 9 — RAPL vs AC reference (one row per experiment)",
         &["workload", "cores", "SMT", "f [MHz]", "AC [W]", "RAPL pkg [W]", "RAPL core [W]"],
@@ -199,13 +321,7 @@ pub fn render(r: &Fig9Result) -> String {
             format!("{:.1}", p.rapl_core_w),
         ]);
     }
-    let mut out = t.render();
-    out.push_str(&format!(
-        "linear fit: AC = {:.2} x RAPL_pkg + {:.1} W; worst residual {:.1} W; \
-         mean memory-workload residual {:+.1} W (RAPL misses DRAM)\n",
-        r.fit_slope, r.fit_intercept_w, r.worst_residual_w, r.memory_residual_w
-    ));
-    out
+    vec![t]
 }
 
 #[cfg(test)]
@@ -218,6 +334,68 @@ mod tests {
             placements: vec![(16, false), (64, true)],
             freqs_mhz: vec![1500, 2500],
         }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the same jobs list
+        // built by hand (as the module did before the sweep engine —
+        // legend-ordered classes with idle as a single inline job,
+        // seeded by flat job index) and run materialized produces a
+        // byte-identical scatter table, for more than one worker/shard
+        // split.
+        use zen2_sim::Case;
+        let cfg = quick();
+        let seed = 85;
+        let mut jobs = Vec::new();
+        for class in classes() {
+            if class == KernelClass::Idle {
+                jobs.push((class, 0usize, false, 2500u32));
+                continue;
+            }
+            for &(cores, smt) in &cfg.placements {
+                for &mhz in &cfg.freqs_mhz {
+                    jobs.push((class, cores, smt, mhz));
+                }
+            }
+        }
+        let cases: Vec<Case> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(class, cores, smt, mhz))| {
+                Case::new(
+                    format!("{}-{cores}c-smt{smt}-{mhz}", class.name()),
+                    SimConfig::epyc_7502_2s(),
+                    point_scenario(&cfg, class, cores, smt, mhz),
+                    seeds::child(seed, i as u64),
+                )
+            })
+            .collect();
+        let runs = Session::new().run(&cases).unwrap();
+        let points: Vec<Point> = jobs
+            .iter()
+            .zip(&runs)
+            .map(|(&(class, cores, smt, mhz), run)| {
+                let (rapl_pkg_w, rapl_core_w) = run.watts_pair("rapl");
+                Point {
+                    workload: class.name().into(),
+                    cores,
+                    smt,
+                    freq_mhz: mhz,
+                    ac_w: run.watts("ac"),
+                    rapl_pkg_w,
+                    rapl_core_w,
+                }
+            })
+            .collect();
+        let materialized = fit(points);
+        for (workers, shard) in [(1, 1), (7, 5)] {
+            let streamed = run_with(&cfg, seed, &Session::new().workers(workers).shard_size(shard));
+            assert_eq!(render(&streamed), render(&materialized), "workers {workers} shard {shard}");
+            assert_eq!(streamed.fit_slope, materialized.fit_slope);
+            assert_eq!(streamed.worst_residual_w, materialized.worst_residual_w);
+        }
+        assert_eq!(tables(&run(&cfg, seed))[0].to_json(), tables(&materialized)[0].to_json());
     }
 
     #[test]

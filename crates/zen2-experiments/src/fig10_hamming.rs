@@ -12,7 +12,12 @@
 //! sequence is pre-drawn from the seed, each block re-schedules the
 //! kernel at its weight, and every block carries its own AC
 //! ([`Probe::AcTrueMeanW`]), RAPL package ([`Probe::RaplW`]) and RAPL
-//! core-0 ([`Probe::RaplCoreW`]) windows.
+//! core-0 ([`Probe::RaplCoreW`]) windows. The blocks must share one
+//! machine (thermal state carries across them, which is exactly the
+//! side channel under study), so the grid is a single-case [`Sweep`]
+//! over an instruction axis streamed through the [`Session`] worker
+//! pool, reduced into per-weight buckets by a [`GroupedStats`] keyed on
+//! that axis.
 
 use crate::report::Table;
 use crate::seeds;
@@ -23,11 +28,11 @@ use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_sim::methodology::mean;
-use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+use zen2_sim::{Axis, GroupedStats, Probe, Scenario, Session, SimConfig, Sweep, Window};
 use zen2_topology::{CoreId, ThreadId};
 
 /// Per-weight sample sets for one metric.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct WeightSamples {
     /// Samples at weight 0.
     pub w0: Vec<f64>,
@@ -127,34 +132,78 @@ pub fn scenario(cfg: &Config, seed: u64, class: KernelClass) -> (Scenario, Vec<O
     (sc, weights)
 }
 
-/// Runs the weight sweep for one instruction kernel through a [`Session`].
+/// The three per-weight metric buckets one instruction's blocks reduce
+/// into — the [`GroupedStats`] accumulator for the instruction axis.
+#[derive(Debug, Clone, Default)]
+struct WeightBuckets {
+    ac_w: WeightSamples,
+    rapl_core0_w: WeightSamples,
+    rapl_pkg_w: WeightSamples,
+}
+
+/// The weight sweep as a declarative [`Sweep`]: a single-value
+/// instruction axis (the blocks of one instruction must share one
+/// machine, so they stay inside one case), plus the pre-drawn per-block
+/// weight sequence its scenario schedules.
+pub fn sweep(cfg: &Config, seed: u64, class: KernelClass) -> (Sweep, Vec<OperandWeight>) {
+    let (sc, weights) = scenario(cfg, seed, class);
+    let sweep = Sweep::new("fig10", SimConfig::epyc_7502_2s())
+        .seed(seed)
+        .axis(Axis::new("instr").with(class.name(), move |draft| draft.scenario = sc.clone()));
+    (sweep, weights)
+}
+
+/// Runs the weight sweep for one instruction kernel through the
+/// streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64, class: KernelClass) -> Fig10Result {
+    run_with(cfg, seed, class, &Session::new())
+}
+
+/// [`run`] on an explicit session (the worker/shard-invariance hook).
+fn run_with(cfg: &Config, seed: u64, class: KernelClass, session: &Session) -> Fig10Result {
     assert!(
         matches!(class, KernelClass::VXorps | KernelClass::Shr),
         "Fig. 10 sweeps vxorps or shr"
     );
-    let (sc, weights) = scenario(cfg, seed, class);
-    let case = Case::new("fig10", SimConfig::epyc_7502_2s(), sc, seeds::child(seed, 0));
-    let runs = Session::new().run(std::slice::from_ref(&case)).expect("fig10 scenario validates");
-    let run = &runs[0];
-
-    let empty = WeightSamples { w0: vec![], w05: vec![], w1: vec![] };
-    let mut result = Fig10Result {
+    let (sweep, weights) = sweep(cfg, seed, class);
+    let mut grouped: GroupedStats<WeightBuckets> = GroupedStats::new(&sweep, &["instr"]);
+    sweep
+        .stream(session, |i, run| {
+            let buckets = grouped.entry(i);
+            for (k, &weight) in weights.iter().enumerate() {
+                buckets.ac_w.push(weight, run.watts(&format!("ac{k}")));
+                buckets.rapl_core0_w.push(weight, run.watts(&format!("core0_{k}")));
+                buckets.rapl_pkg_w.push(weight, run.watts_pair(&format!("pkg{k}")).0);
+            }
+        })
+        .expect("fig10 scenario validates");
+    let (_, buckets) =
+        grouped.into_rows().next().expect("the instruction axis has exactly one group");
+    Fig10Result {
         instruction: class.name().into(),
-        ac_w: empty.clone(),
-        rapl_core0_w: empty.clone(),
-        rapl_pkg_w: empty,
-    };
-    for (k, &weight) in weights.iter().enumerate() {
-        result.ac_w.push(weight, run.watts(&format!("ac{k}")));
-        result.rapl_core0_w.push(weight, run.watts(&format!("core0_{k}")));
-        result.rapl_pkg_w.push(weight, run.watts_pair(&format!("pkg{k}")).0);
+        ac_w: buckets.ac_w,
+        rapl_core0_w: buckets.rapl_core0_w,
+        rapl_pkg_w: buckets.rapl_pkg_w,
     }
-    result
 }
 
 /// Renders the paper-style summary.
 pub fn render(r: &Fig10Result) -> String {
+    let mut out = tables(r)[0].render();
+    let ac_rel = r.ac_w.mean_spread() / mean(&r.ac_w.w05) * 100.0;
+    let rapl_rel = r.rapl_core0_w.mean_spread() / mean(&r.rapl_core0_w.w05).max(1e-9) * 100.0;
+    out.push_str(&format!(
+        "AC spread {:.1} W ({:.1} %; paper vxorps: 21 W / 7.6 %), RAPL core spread {:.2} % \
+         (paper: within 0.08 %)\n",
+        r.ac_w.mean_spread(),
+        ac_rel,
+        rapl_rel
+    ));
+    out
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Fig10Result) -> Vec<Table> {
     let mut t = Table::new(
         format!("Fig. 10 — {} operand-weight sweep", r.instruction),
         &["metric", "mean @w=0", "mean @w=0.5", "mean @w=1", "spread", "w0/w1 overlap"],
@@ -174,17 +223,7 @@ pub fn render(r: &Fig10Result) -> String {
             format!("{}", s.distributions_overlap()),
         ]);
     }
-    let mut out = t.render();
-    let ac_rel = r.ac_w.mean_spread() / mean(&r.ac_w.w05) * 100.0;
-    let rapl_rel = r.rapl_core0_w.mean_spread() / mean(&r.rapl_core0_w.w05).max(1e-9) * 100.0;
-    out.push_str(&format!(
-        "AC spread {:.1} W ({:.1} %; paper vxorps: 21 W / 7.6 %), RAPL core spread {:.2} % \
-         (paper: within 0.08 %)\n",
-        r.ac_w.mean_spread(),
-        ac_rel,
-        rapl_rel
-    ));
-    out
+    vec![t]
 }
 
 #[cfg(test)]
@@ -193,6 +232,43 @@ mod tests {
 
     fn quick() -> Config {
         Config { blocks: 36, block_s: 0.1 }
+    }
+
+    #[test]
+    fn sweep_engine_matches_materialized_session() {
+        // The sweep port must not change results: the same single case
+        // built by hand (as the module did before the sweep engine) and
+        // run materialized produces a byte-identical summary table, for
+        // more than one worker/shard split.
+        use zen2_sim::Case;
+        let cfg = quick();
+        let seed = 95;
+        let class = KernelClass::VXorps;
+        let (sc, weights) = scenario(&cfg, seed, class);
+        let case = Case::new("fig10", SimConfig::epyc_7502_2s(), sc, seeds::child(seed, 0));
+        let runs = Session::new().run(std::slice::from_ref(&case)).unwrap();
+        let mut materialized = Fig10Result {
+            instruction: class.name().into(),
+            ac_w: WeightSamples::default(),
+            rapl_core0_w: WeightSamples::default(),
+            rapl_pkg_w: WeightSamples::default(),
+        };
+        for (k, &weight) in weights.iter().enumerate() {
+            materialized.ac_w.push(weight, runs[0].watts(&format!("ac{k}")));
+            materialized.rapl_core0_w.push(weight, runs[0].watts(&format!("core0_{k}")));
+            materialized.rapl_pkg_w.push(weight, runs[0].watts_pair(&format!("pkg{k}")).0);
+        }
+        for (workers, shard) in [(1, 1), (7, 64)] {
+            let streamed =
+                run_with(&cfg, seed, class, &Session::new().workers(workers).shard_size(shard));
+            assert_eq!(render(&streamed), render(&materialized), "workers {workers} shard {shard}");
+            assert_eq!(streamed.ac_w.w0, materialized.ac_w.w0);
+            assert_eq!(streamed.rapl_pkg_w.w1, materialized.rapl_pkg_w.w1);
+        }
+        assert_eq!(
+            tables(&run(&cfg, seed, class))[0].to_json(),
+            tables(&materialized)[0].to_json()
+        );
     }
 
     #[test]

@@ -112,6 +112,32 @@ impl Table {
     }
 }
 
+/// Renders a set of tables as one JSON array document — the `--json`
+/// output shape shared by every experiment binary.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Prints an experiment's report: the JSON array of `tables` when
+/// `--json` was passed on the command line, the rendered `text`
+/// otherwise. Every experiment binary routes its output through this,
+/// so the `--json` contract is uniform across the tree.
+pub fn emit(text: impl FnOnce() -> String, tables: impl FnOnce() -> Vec<Table>) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", tables_to_json(&tables()));
+    } else {
+        print!("{}", text());
+    }
+}
+
 /// Renders a string as a JSON string literal (quotes included).
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -184,6 +210,18 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"t\\n\\t\""));
         assert!(json.contains("\\u0001"));
+    }
+
+    #[test]
+    fn tables_concatenate_into_a_json_array() {
+        let mut a = Table::new("a", &["x"]);
+        a.row(&["1".into()]);
+        let b = Table::new("b", &["y"]);
+        assert_eq!(
+            tables_to_json(&[a.clone(), b]),
+            format!("[{},{}]", a.to_json(), Table::new("b", &["y"]).to_json())
+        );
+        assert_eq!(tables_to_json(&[]), "[]");
     }
 
     #[test]

@@ -103,6 +103,11 @@ pub fn run(seed: u64) -> Sec5aResult {
 
 /// Renders the observation table.
 pub fn render(r: &Sec5aResult) -> String {
+    tables(r).iter().map(Table::render).collect()
+}
+
+/// The observations as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Sec5aResult) -> Vec<Table> {
     let mut t = Table::new(
         "SS V-A — active thread set to 1.5 GHz; sibling influence (paper: idle/offline sibling at 2.5 GHz elevates the core to 2.5 GHz)",
         &["sibling", "active thread freq [GHz]", "sibling cycles/s"],
@@ -114,7 +119,7 @@ pub fn render(r: &Sec5aResult) -> String {
             format!("{:.0}", o.sibling_cycles_per_s),
         ]);
     }
-    t.render()
+    vec![t]
 }
 
 #[cfg(test)]

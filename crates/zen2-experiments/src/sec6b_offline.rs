@@ -98,6 +98,11 @@ pub fn run(seed: u64) -> Sec6bResult {
 
 /// Renders the summary.
 pub fn render(r: &Sec6bResult) -> String {
+    tables(r).iter().map(Table::render).collect()
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Sec6bResult) -> Vec<Table> {
     let mut t = Table::new(
         "SS VI-B — offlined hardware threads block package C6",
         &["configuration", "paper / measured [W]"],
@@ -106,7 +111,7 @@ pub fn render(r: &Sec6bResult) -> String {
     t.row(&["second threads offline".into(), compare(180.3, r.offline_w, "")]);
     t.row(&["after re-onlining".into(), compare(99.1, r.reonline_w, "")]);
     t.row(&["(ablation) clean offline parking".into(), format!("- / {:.1}", r.clean_parking_w)]);
-    t.render()
+    vec![t]
 }
 
 #[cfg(test)]

@@ -67,12 +67,17 @@ pub fn run(cfg: &Config, seed: u64) -> Sec7Result {
 
 /// Renders the summary.
 pub fn render(r: &Sec7Result) -> String {
+    tables(r).iter().map(Table::render).collect()
+}
+
+/// The summary as a [`Table`] (for text, CSV, or JSON output).
+pub fn tables(r: &Sec7Result) -> Vec<Table> {
     let mut t = Table::new(
         "SS VII — RAPL update interval (paper: 1 ms)",
         &["observed updates", "mean interval [us]"],
     );
     t.row(&[format!("{}", r.intervals_us.len()), format!("{:.0}", r.mean_us)]);
-    t.render()
+    vec![t]
 }
 
 #[cfg(test)]

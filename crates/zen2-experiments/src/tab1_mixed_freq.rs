@@ -125,6 +125,11 @@ pub fn render(result: &Tab1Result) -> String {
     out
 }
 
+/// [`table`] in the uniform multi-table shape every binary emits.
+pub fn tables(result: &Tab1Result) -> Vec<Table> {
+    vec![table(result)]
+}
+
 /// The summary as a [`Table`] (for text, CSV, or JSON output).
 pub fn table(result: &Tab1Result) -> Table {
     let mut t = Table::new(

@@ -50,7 +50,8 @@
 //!   streams them through a session.
 //! * [`stats`] — on-line aggregators (Welford, streaming quantiles,
 //!   trace reductions) turning arbitrarily large sweeps into
-//!   bounded-size summaries.
+//!   bounded-size summaries, including [`GroupedStats`] buckets keyed
+//!   by sweep axes for per-frequency / per-config rows.
 
 pub mod ccx;
 pub mod config;
@@ -78,7 +79,7 @@ pub use config::SimConfig;
 pub use probe::{EventFilter, Measurement, Probe, ProbeSpec, Run, Window};
 pub use scenario::{Op, Scenario, ScenarioError, Step};
 pub use session::{Case, Session, SessionError, SessionErrorKind};
-pub use stats::{FreqResidency, OnlineStats, P2Quantile, TransitionStats, Welford};
+pub use stats::{FreqResidency, GroupedStats, OnlineStats, P2Quantile, TransitionStats, Welford};
 pub use sweep::{Axis, CaseDraft, Sweep};
 pub use system::System;
 pub use time::{Duration, Instant, Ns};

@@ -3,7 +3,7 @@
 //! A [`Probe`] names a physical quantity; a [`Window`] names when to look.
 //! The scenario engine evaluates every probe while it advances the
 //! machine, so one pass over simulated time yields every observation a
-//! [`Run`](crate::Run) needs — replacing the imperative
+//! [`Run`] needs — replacing the imperative
 //! `run_for_secs` / `measure_*` call sequences the experiment modules
 //! used to hand-roll.
 //!

@@ -2,7 +2,7 @@
 //! validated against the topology before any simulation runs.
 //!
 //! A [`Scenario`] is a schedule of [`Op`]s plus a set of
-//! [`ProbeSpec`](crate::ProbeSpec) observation windows. Building one does
+//! [`ProbeSpec`] observation windows. Building one does
 //! not touch a machine; [`System::run_scenario`] (or a
 //! [`Session`](crate::Session) batch) executes it:
 //!

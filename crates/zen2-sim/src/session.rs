@@ -140,6 +140,22 @@ impl Session {
     /// On a validation failure or worker panic the error is attributed
     /// to its case and the stream stops; runs of earlier cases have
     /// already been delivered to the sink at that point.
+    ///
+    /// ```
+    /// use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+    ///
+    /// let mut sc = Scenario::new();
+    /// sc.probe("ac", Probe::AcPowerW, Window::at(0));
+    /// // A lazy case stream: nothing is materialized up front.
+    /// let cases = (0..100).map(move |i| {
+    ///     Case::new(format!("case{i}"), SimConfig::epyc_7502_2s(), sc.clone(), i)
+    /// });
+    /// let mut sum = 0.0;
+    /// let session = Session::new().workers(4).shard_size(8);
+    /// let n = session.run_streaming(cases, |_, run| sum += run.watts("ac")).unwrap();
+    /// assert_eq!(n, 100);
+    /// assert!((sum / 100.0 - 99.1).abs() < 2.0); // the Fig. 7 idle floor
+    /// ```
     pub fn run_streaming<I, F>(&self, cases: I, sink: F) -> Result<usize, SessionError>
     where
         I: IntoIterator<Item = Case>,

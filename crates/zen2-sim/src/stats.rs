@@ -15,6 +15,9 @@
 //!   [`Probe::TraceEvents`](crate::Probe::TraceEvents) records.
 //! * [`TransitionStats`] — DVFS transition counts and request→apply
 //!   latency statistics from the same records.
+//! * [`GroupedStats`] — any of the above (or any `Default` accumulator),
+//!   bucketed by one or more [`Sweep`] axes, so a sink folds a wide grid
+//!   into per-frequency / per-config rows.
 //!
 //! Every aggregator is deterministic in its input order. The streaming
 //! session delivers runs in case order regardless of worker count or
@@ -22,6 +25,7 @@
 //! [`Session::run_streaming`](crate::Session::run_streaming) sink gives
 //! bit-identical summaries for any parallelism.
 
+use crate::sweep::Sweep;
 use crate::time::Ns;
 use crate::trace::{Event, Record};
 use std::collections::BTreeMap;
@@ -441,6 +445,183 @@ impl TransitionStats {
     }
 }
 
+/// A streaming reducer bucketed by [`Sweep`] axes: one accumulator per
+/// combination of the chosen axes' values, so a sink folds a wide grid
+/// into per-frequency / per-config rows without ever materializing its
+/// runs.
+///
+/// Construction captures only the grid's *shape* (axis lengths and value
+/// labels) from the sweep — no closures, no cases — and
+/// [`entry`](Self::entry) routes a streamed case index to its group by
+/// the same row-major decode as [`Sweep::axis_indices`]. The accumulator
+/// is any `Default` type: one of this module's aggregators, or an
+/// experiment-specific struct bundling several of them.
+///
+/// Rows come back in grid order (the first grouping axis outermost),
+/// independent of the order groups were first touched. Because
+/// [`Session::run_streaming`](crate::Session::run_streaming) delivers
+/// runs in case order for any worker count or shard size, every group's
+/// accumulator sees its observations in case order too — grouped
+/// summaries are bit-identical for any worker/shard split.
+///
+/// ```
+/// use zen2_sim::stats::{GroupedStats, OnlineStats};
+/// use zen2_sim::{Axis, Probe, Scenario, Session, SimConfig, Sweep, Window};
+/// use zen2_isa::{KernelClass, OperandWeight};
+/// use zen2_topology::ThreadId;
+///
+/// // 2 load levels × 3 seeds; group the 6 cases by load level.
+/// let mut base = Scenario::new();
+/// base.probe("ac", Probe::AcPowerW, Window::at(20_000)); // 20 µs: load has landed
+/// let mut load = Axis::new("busy_threads");
+/// for n in [1u32, 8] {
+///     load = load.with(format!("{n}"), move |draft| {
+///         let mut at = draft.scenario.at(0);
+///         for t in 0..n {
+///             at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
+///         }
+///     });
+/// }
+/// let sweep = Sweep::new("demo", SimConfig::epyc_7502_2s())
+///     .scenario(base)
+///     .seed(7)
+///     .axis(load)
+///     .axis(Axis::param("rep", (0..3).map(f64::from)));
+///
+/// let mut by_load: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["busy_threads"]);
+/// let session = Session::new().workers(2).shard_size(2);
+/// sweep.stream(&session, |i, run| by_load.entry(i).push(run.watts("ac"))).unwrap();
+///
+/// assert_eq!(by_load.len(), 2);
+/// let rows: Vec<_> = by_load.rows().collect();
+/// assert_eq!(rows[0].0, ["1"]);
+/// assert_eq!(rows[1].0, ["8"]);
+/// assert_eq!(rows[0].1.count(), 3);
+/// assert!(rows[0].1.mean() < rows[1].1.mean());
+/// assert_eq!(by_load.get(&["8"]).unwrap().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupedStats<A> {
+    /// Per grouping axis: its name and value labels, in grouping order.
+    axes: Vec<(String, Vec<String>)>,
+    /// Position of each grouping axis among the sweep's axes.
+    positions: Vec<usize>,
+    /// Every sweep axis length, for the row-major case-index decode.
+    lens: Vec<usize>,
+    /// Accumulators keyed by grouping-axis value indices (grid order).
+    groups: BTreeMap<Vec<usize>, A>,
+}
+
+impl<A> GroupedStats<A> {
+    /// A reducer over `sweep`'s grid, grouping by the named axes (in the
+    /// order given, which sets the row order: first name outermost).
+    ///
+    /// # Panics
+    /// Panics when `by` is empty, names an axis the sweep does not have,
+    /// or names the same axis twice.
+    pub fn new(sweep: &Sweep, by: &[&str]) -> Self {
+        assert!(!by.is_empty(), "grouping needs at least one axis");
+        let mut axes = Vec::with_capacity(by.len());
+        let mut positions = Vec::with_capacity(by.len());
+        for name in by {
+            let position = sweep
+                .axes()
+                .iter()
+                .position(|axis| axis.name() == *name)
+                .unwrap_or_else(|| panic!("sweep has no axis named {name:?}"));
+            assert!(!positions.contains(&position), "axis {name:?} listed twice");
+            positions.push(position);
+            let axis = &sweep.axes()[position];
+            axes.push((axis.name().to_string(), axis.value_labels().map(String::from).collect()));
+        }
+        Self {
+            axes,
+            positions,
+            lens: sweep.axes().iter().map(crate::sweep::Axis::len).collect(),
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// The names of the grouping axes, in row order.
+    pub fn group_axes(&self) -> impl Iterator<Item = &str> {
+        self.axes.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Decodes a case index into this reducer's group key.
+    fn key_of(&self, case_index: usize) -> Vec<usize> {
+        let total: usize = self.lens.iter().product();
+        assert!(case_index < total, "case {case_index} out of range ({total} cases)");
+        let mut rest = case_index;
+        let mut all = vec![0; self.lens.len()];
+        for (slot, len) in all.iter_mut().zip(&self.lens).rev() {
+            *slot = rest % len;
+            rest /= len;
+        }
+        self.positions.iter().map(|&p| all[p]).collect()
+    }
+
+    /// The accumulator for case `case_index`'s group, created on first
+    /// touch — the call a [`Sweep::stream`] sink makes per delivery.
+    ///
+    /// # Panics
+    /// Panics when `case_index` is outside the grid the reducer was
+    /// built over.
+    pub fn entry(&mut self, case_index: usize) -> &mut A
+    where
+        A: Default,
+    {
+        let key = self.key_of(case_index);
+        self.groups.entry(key).or_default()
+    }
+
+    /// The number of groups touched so far (at most the product of the
+    /// grouping axes' lengths).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no case has been routed yet (e.g. the grid was empty).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The accumulator for the group with the given value labels (one
+    /// per grouping axis, in row order), or `None` when the labels name
+    /// no group or the group was never touched.
+    pub fn get(&self, labels: &[&str]) -> Option<&A> {
+        if labels.len() != self.axes.len() {
+            return None;
+        }
+        let key: Option<Vec<usize>> = self
+            .axes
+            .iter()
+            .zip(labels)
+            .map(|((_, values), label)| values.iter().position(|v| v == label))
+            .collect();
+        self.groups.get(&key?)
+    }
+
+    /// All touched groups in grid order (first grouping axis outermost),
+    /// each as its value labels plus the accumulator.
+    pub fn rows(&self) -> impl Iterator<Item = (Vec<&str>, &A)> {
+        self.groups.iter().map(|(key, stats)| {
+            let labels =
+                self.axes.iter().zip(key).map(|((_, values), &v)| values[v].as_str()).collect();
+            (labels, stats)
+        })
+    }
+
+    /// Like [`rows`](Self::rows), but consuming the reducer and handing
+    /// out owned accumulators (for building result structs).
+    pub fn into_rows(self) -> impl Iterator<Item = (Vec<String>, A)> {
+        let axes = self.axes;
+        self.groups.into_iter().map(move |(key, stats)| {
+            let labels = axes.iter().zip(&key).map(|((_, values), &v)| values[v].clone()).collect();
+            (labels, stats)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +760,80 @@ mod tests {
         assert_eq!(t.completed(), 2);
         assert_eq!(t.latency_ns().min(), 500.0);
         assert_eq!(t.latency_ns().max(), 890.0);
+    }
+
+    /// A 3×2 grid shape for grouped-routing tests (never simulated).
+    fn shape_sweep() -> Sweep {
+        Sweep::new("shape", crate::SimConfig::epyc_7502_2s())
+            .axis(crate::sweep::Axis::param("outer", [10.0, 20.0, 30.0]))
+            .axis(crate::sweep::Axis::param("inner", [1.0, 2.0]))
+    }
+
+    #[test]
+    fn grouped_routes_case_indices_like_axis_indices() {
+        let sweep = shape_sweep();
+        let mut by_outer: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
+        let mut by_inner: GroupedStats<Welford> = GroupedStats::new(&sweep, &["inner"]);
+        for i in 0..sweep.len() {
+            by_outer.entry(i).push(i as f64);
+            by_inner.entry(i).push(i as f64);
+        }
+        // Row-major: outer varies every 2 cases, inner alternates.
+        assert_eq!(by_outer.len(), 3);
+        let outer: Vec<_> = by_outer.rows().collect();
+        assert_eq!(outer[0].0, ["10"]);
+        assert_eq!(outer[0].1.min(), 0.0);
+        assert_eq!(outer[0].1.max(), 1.0);
+        assert_eq!(outer[2].0, ["30"]);
+        assert_eq!(outer[2].1.min(), 4.0);
+        assert_eq!(by_inner.len(), 2);
+        assert_eq!(by_inner.get(&["1"]).unwrap().count(), 3);
+        assert_eq!(by_inner.get(&["2"]).unwrap().mean(), (1.0 + 3.0 + 5.0) / 3.0);
+    }
+
+    #[test]
+    fn grouped_by_both_axes_gives_one_group_per_case() {
+        let sweep = shape_sweep();
+        let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer", "inner"]);
+        for i in 0..sweep.len() {
+            g.entry(i).push(i as f64);
+        }
+        assert_eq!(g.len(), 6);
+        let labels: Vec<Vec<&str>> = g.rows().map(|(labels, _)| labels).collect();
+        assert_eq!(labels[0], ["10", "1"]);
+        assert_eq!(labels[1], ["10", "2"]);
+        assert_eq!(labels[5], ["30", "2"]);
+        assert_eq!(g.group_axes().collect::<Vec<_>>(), ["outer", "inner"]);
+        // Owned extraction preserves grid order.
+        let owned: Vec<(Vec<String>, Welford)> = g.into_rows().collect();
+        assert_eq!(owned[5].0, ["30", "2"]);
+        assert_eq!(owned[5].1.mean(), 5.0);
+    }
+
+    #[test]
+    fn grouped_get_rejects_unknown_labels_and_wrong_arity() {
+        let sweep = shape_sweep();
+        let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
+        g.entry(0).push(1.0);
+        assert!(g.get(&["10"]).is_some());
+        assert!(g.get(&["20"]).is_none(), "valid label, untouched group");
+        assert!(g.get(&["nope"]).is_none());
+        assert!(g.get(&["10", "1"]).is_none(), "arity mismatch");
+        assert!(g.get(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis named")]
+    fn grouped_rejects_unknown_axis() {
+        let _: GroupedStats<Welford> = GroupedStats::new(&shape_sweep(), &["nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grouped_rejects_out_of_range_case() {
+        let sweep = shape_sweep();
+        let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
+        g.entry(6);
     }
 
     #[test]

@@ -179,9 +179,14 @@ impl Axis {
         self.values.is_empty()
     }
 
-    /// The label of value `i`.
-    pub fn value_label(&self, i: usize) -> &str {
-        &self.values[i].label
+    /// The label of value `i`, or `None` when `i` is out of range.
+    pub fn value_label(&self, i: usize) -> Option<&str> {
+        self.values.get(i).map(|v| v.label.as_str())
+    }
+
+    /// All value labels, in axis order.
+    pub fn value_labels(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(|v| v.label.as_str())
     }
 }
 
@@ -248,6 +253,16 @@ impl Sweep {
         self
     }
 
+    /// The grid's axes, in declaration order (outermost first).
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The sweep's label (the prefix of every case label).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
     /// Installs a hook running after all axis values have been applied
     /// to a draft — the place to turn accumulated
     /// [parameters](CaseDraft::param) into one joint scenario/config
@@ -269,7 +284,12 @@ impl Sweep {
     }
 
     /// The per-axis value indices of case `index` (row-major decode) —
-    /// the key for bucketing streamed results per grid point.
+    /// the key for bucketing streamed results per grid point, and what
+    /// [`GroupedStats`](crate::stats::GroupedStats) uses to route a case
+    /// to its group.
+    ///
+    /// # Panics
+    /// Panics when `index` is outside the grid (`index >= self.len()`).
     pub fn axis_indices(&self, index: usize) -> Vec<usize> {
         assert!(index < self.len(), "case {index} out of range ({} cases)", self.len());
         let mut rest = index;
@@ -282,6 +302,11 @@ impl Sweep {
     }
 
     /// Builds case `index` of the grid.
+    ///
+    /// # Panics
+    /// Panics when `index` is outside the grid (`index >= self.len()`),
+    /// the same contract as [`axis_indices`](Self::axis_indices); use
+    /// [`cases`](Self::cases) to iterate without index bookkeeping.
     pub fn case(&self, index: usize) -> Case {
         let mut draft = CaseDraft {
             config: self.base_config.clone(),
@@ -388,6 +413,22 @@ mod tests {
         assert_eq!(sweep.case(0).config, SimConfig::epyc_7502_2s());
         assert_eq!(sweep.case(1).config, SimConfig::epyc_7502_1s());
         assert_eq!(sweep.case(1).label, "grid/sku=1s");
+    }
+
+    #[test]
+    fn value_label_is_none_out_of_range() {
+        let axis = Axis::param("x", [1.0, 2.0]);
+        assert_eq!(axis.value_label(0), Some("1"));
+        assert_eq!(axis.value_label(1), Some("2"));
+        assert_eq!(axis.value_label(2), None);
+        assert_eq!(axis.value_labels().collect::<Vec<_>>(), ["1", "2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn case_panics_out_of_range_as_documented() {
+        let sweep = instant_sweep().axis(Axis::param("x", [1.0, 2.0]));
+        let _ = sweep.case(2);
     }
 
     #[test]

@@ -75,6 +75,72 @@ fn ten_thousand_case_sweep_has_bounded_residency_and_materialized_identical_stat
     assert!(streamed.max() > streamed.min());
 }
 
+/// A 10 × 25 grid for grouped-aggregation tests: load levels × seeds,
+/// with an instantaneous power read per case.
+fn grouped_grid() -> Sweep {
+    let mut base = Scenario::new();
+    base.probe("ac", Probe::AcPowerW, Window::at(20 * MICROSECOND));
+    let mut load = Axis::new("busy_threads");
+    for n in 1..=10u32 {
+        load = load.with(format!("{n}"), move |draft| {
+            let mut at = draft.scenario.at(0);
+            for t in 0..n {
+                at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
+            }
+        });
+    }
+    Sweep::new("grouped", SimConfig::epyc_7502_2s())
+        .scenario(base)
+        .seed(0x6789)
+        .axis(load)
+        .axis(Axis::param("rep", (0..25).map(f64::from)))
+}
+
+#[test]
+fn grouped_stats_are_invariant_across_worker_and_shard_splits() {
+    // The per-axis-bucket reduction must be bit-identical for any
+    // worker/shard split: same groups, same labels, same statistics.
+    let sweep = grouped_grid();
+    let reduce = |workers: usize, shard: usize| {
+        let mut by_load: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["busy_threads"]);
+        let session = Session::new().workers(workers).shard_size(shard);
+        sweep.stream(&session, |i, run| by_load.entry(i).push(run.watts("ac"))).unwrap();
+        by_load
+    };
+    let reference = reduce(1, 1);
+    assert_eq!(reference.len(), 10);
+    for (labels, stats) in reference.rows() {
+        assert_eq!(labels.len(), 1);
+        assert_eq!(stats.count(), 25, "load {labels:?}");
+    }
+    // More load draws more power, group by group.
+    let means: Vec<f64> = reference.rows().map(|(_, s)| s.mean()).collect();
+    assert!(means.windows(2).all(|w| w[0] < w[1]), "means not monotone: {means:?}");
+    for workers in [1, 2, 7] {
+        for shard in [1, 5, 64] {
+            assert_eq!(reduce(workers, shard), reference, "workers {workers} shard {shard}");
+        }
+    }
+}
+
+#[test]
+fn zero_case_grid_streams_nothing_and_grouped_stats_stay_empty() {
+    // An axis with no values empties the whole grid: the stream
+    // delivers zero runs and the grouped reducer has no rows.
+    let sweep = grouped_grid().axis(Axis::new("empty"));
+    assert!(sweep.is_empty());
+    let mut grouped: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["busy_threads"]);
+    let delivered = sweep
+        .stream(&Session::new().workers(3).shard_size(4), |i, _| {
+            grouped.entry(i);
+        })
+        .unwrap();
+    assert_eq!(delivered, 0);
+    assert!(grouped.is_empty());
+    assert_eq!(grouped.rows().count(), 0);
+    assert_eq!(grouped.get(&["1"]), None);
+}
+
 /// A small sweep whose scenario switches frequencies, so the trace
 /// reductions have transitions and residencies to chew on.
 fn dvfs_sweep() -> Sweep {
