@@ -1,8 +1,14 @@
 //! Runs the many-core throttling prediction (paper SS VIII future work)
 //! through the streaming sweep engine. `--json` emits the summary
-//! tables as machine-readable JSON.
-use zen2_experiments::{ext_manycore as exp, report, Scale};
+//! tables as machine-readable JSON; `--checkpoint <path>` / `--resume`
+//! make the grid interruptible (see `docs/SWEEPS.md`).
+use zen2_experiments::{ext_manycore as exp, run_checkpointed_bin, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xE87);
-    report::emit(|| exp::render(&r), || exp::tables(&r));
+    let cfg = exp::Config::new(Scale::from_args());
+    run_checkpointed_bin(
+        "ext_manycore",
+        |session, spec| exp::run_checkpointed(&cfg, 0xE87, session, spec),
+        exp::render,
+        exp::tables,
+    );
 }

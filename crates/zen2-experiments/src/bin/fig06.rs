@@ -1,8 +1,14 @@
 //! Regenerates Fig. 6 (FIRESTARTER throttling with and without SMT)
 //! through the streaming sweep engine. `--json` emits the summary
-//! tables as machine-readable JSON.
-use zen2_experiments::{fig06_firestarter as exp, report, Scale};
+//! tables as machine-readable JSON; `--checkpoint <path>` / `--resume`
+//! make the grid interruptible (see `docs/SWEEPS.md`).
+use zen2_experiments::{fig06_firestarter as exp, run_checkpointed_bin, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF166);
-    report::emit(|| exp::render(&r), || exp::tables(&r));
+    let cfg = exp::Config::new(Scale::from_args());
+    run_checkpointed_bin(
+        "fig06",
+        |session, spec| exp::run_checkpointed(&cfg, 0xF166, session, spec),
+        exp::render,
+        exp::tables,
+    );
 }

@@ -1,8 +1,14 @@
 //! Regenerates Fig. 9 (RAPL quality vs the AC reference) through the
 //! streaming sweep engine. `--json` emits the scatter table as
-//! machine-readable JSON.
-use zen2_experiments::{fig09_rapl_quality as exp, report, Scale};
+//! machine-readable JSON; `--checkpoint <path>` / `--resume` make the
+//! grid interruptible (see `docs/SWEEPS.md`).
+use zen2_experiments::{fig09_rapl_quality as exp, run_checkpointed_bin, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0xF169);
-    report::emit(|| exp::render(&r), || exp::tables(&r));
+    let cfg = exp::Config::new(Scale::from_args());
+    run_checkpointed_bin(
+        "fig09",
+        |session, spec| exp::run_checkpointed(&cfg, 0xF169, session, spec),
+        exp::render,
+        exp::tables,
+    );
 }

@@ -1,13 +1,34 @@
 //! Regenerates Fig. 10 (operand-Hamming-weight power ECDFs), for both the
 //! 256-bit vxorps sweep and the 64-bit shr contrast, through the
 //! streaming sweep engine. `--json` emits both summary tables as
-//! machine-readable JSON.
-use zen2_experiments::{fig10_hamming as exp, report, Scale};
+//! machine-readable JSON; `--checkpoint <path>` keeps one checkpoint
+//! file per kernel (`<path>-vxorps`, `<path>-shr`), so `--resume`
+//! re-emits a finished kernel without re-simulating it (see
+//! `docs/SWEEPS.md`).
+use zen2_experiments::{fig10_hamming as exp, report, session_from_args, CheckpointCli, Scale};
 use zen2_isa::KernelClass;
+
 fn main() {
     let cfg = exp::Config::new(Scale::from_args());
-    let vxorps = exp::run(&cfg, 0xF1610, KernelClass::VXorps);
-    let shr = exp::run(&cfg, 0xF1611, KernelClass::Shr);
+    let usage = |message: String| -> ! {
+        eprintln!("fig10: {message}");
+        std::process::exit(2);
+    };
+    let cli = CheckpointCli::from_args().unwrap_or_else(|m| usage(m));
+    let session = session_from_args().unwrap_or_else(|m| usage(m));
+    // Fig. 10 grids are a single case each (the blocks share one
+    // machine), so a run can never halt mid-kernel and the result is
+    // always present.
+    let run = |seed, class, name: &str| {
+        exp::run_checkpointed(&cfg, seed, class, &session, &cli.spec_for(name))
+            .unwrap_or_else(|error| {
+                eprintln!("fig10: {error}");
+                std::process::exit(1);
+            })
+            .expect("single-case fig10 grids cannot halt mid-run")
+    };
+    let vxorps = run(0xF1610, KernelClass::VXorps, "vxorps");
+    let shr = run(0xF1611, KernelClass::Shr, "shr");
     report::emit(
         || format!("{}{}", exp::render(&vxorps), exp::render(&shr)),
         || exp::tables(&vxorps).into_iter().chain(exp::tables(&shr)).collect(),

@@ -1,8 +1,14 @@
 //! Regenerates Table I (mixed frequencies on one CCX) through the
 //! streaming sweep engine. `--json` emits the summary tables as
-//! machine-readable JSON.
-use zen2_experiments::{report, tab1_mixed_freq as exp, Scale};
+//! machine-readable JSON; `--checkpoint <path>` / `--resume` make the
+//! grid interruptible (see `docs/SWEEPS.md`).
+use zen2_experiments::{run_checkpointed_bin, tab1_mixed_freq as exp, Scale};
 fn main() {
-    let r = exp::run(&exp::Config::new(Scale::from_args()), 0x7AB1);
-    report::emit(|| exp::render(&r), || exp::tables(&r));
+    let cfg = exp::Config::new(Scale::from_args());
+    run_checkpointed_bin(
+        "tab1",
+        |session, spec| exp::run_checkpointed(&cfg, 0x7AB1, session, spec),
+        exp::render,
+        exp::tables,
+    );
 }

@@ -15,7 +15,11 @@ use crate::report::Table;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
-use zen2_sim::{Axis, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
+use zen2_sim::{
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, Json, Probe, Run, Scenario,
+    Session, SimConfig, Snapshot, SnapshotError, Sweep, Window,
+};
 use zen2_topology::{CoreId, ThreadId};
 
 /// One SKU's throttling result.
@@ -44,6 +48,34 @@ pub struct ManyCoreResult {
     pub epyc_7502: SkuResult,
     /// The future-work 64-core part.
     pub epyc_7742: SkuResult,
+}
+
+/// A SKU's reduced result snapshots exactly (for checkpoint/resume —
+/// the [`GroupedStats`] accumulator here is `Option<SkuResult>`).
+impl Snapshot for SkuResult {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("sku", Json::str(self.sku.clone())),
+            ("cores_per_socket", Json::usize(self.cores_per_socket)),
+            ("nominal_ghz", Json::f64(self.nominal_ghz)),
+            ("equilibrium_ghz", Json::f64(self.equilibrium_ghz)),
+            ("throttle_depth", Json::f64(self.throttle_depth)),
+            ("rapl_pkg_w", Json::f64(self.rapl_pkg_w)),
+            ("per_core_budget_w", Json::f64(self.per_core_budget_w)),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            sku: json.get("sku")?.as_str()?.to_string(),
+            cores_per_socket: json.get("cores_per_socket")?.as_usize()?,
+            nominal_ghz: json.get("nominal_ghz")?.as_f64()?,
+            equilibrium_ghz: json.get("equilibrium_ghz")?.as_f64()?,
+            throttle_depth: json.get("throttle_depth")?.as_f64()?,
+            rapl_pkg_w: json.get("rapl_pkg_w")?.as_f64()?,
+            per_core_budget_w: json.get("per_core_budget_w")?.as_f64()?,
+        })
+    }
 }
 
 /// Experiment parameters.
@@ -112,13 +144,49 @@ pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
 
 /// Runs both SKUs through the streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64) -> ManyCoreResult {
+    run_checkpointed(cfg, seed, &Session::new(), &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume: persists the per-SKU reductions at
+/// every shard boundary per `spec` and resumes byte-identically.
+/// Returns `None` on a deliberate `--halt-after` halt.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<ManyCoreResult>, CheckpointError> {
     let sweep = sweep(cfg, seed);
-    let mut runs: Vec<Run> = Vec::with_capacity(sweep.len());
-    sweep.stream(&Session::new(), |_, run| runs.push(run)).expect("manycore scenarios validate");
-    ManyCoreResult {
-        epyc_7502: reduce(&SimConfig::epyc_7502_2s(), "EPYC 7502", &runs[0]),
-        epyc_7742: reduce(&SimConfig::epyc_7742_1s(), "EPYC 7742", &runs[1]),
+    /// The resumable accumulator: one reduced result per SKU.
+    struct Skus(GroupedStats<Option<SkuResult>>);
+    impl CheckpointState for Skus {
+        fn save_into(&self, checkpoint: &mut Checkpoint) {
+            checkpoint.set_grouped("skus", &self.0);
+        }
+        fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+            self.0 = checkpoint.grouped("skus", &self.0)?;
+            Ok(())
+        }
+        fn fold(&mut self, index: usize, run: Run) {
+            let (sim_cfg, label) = match index {
+                0 => (SimConfig::epyc_7502_2s(), "EPYC 7502"),
+                _ => (SimConfig::epyc_7742_1s(), "EPYC 7742"),
+            };
+            *self.0.entry(index) = Some(reduce(&sim_cfg, label, &run));
+        }
     }
+    let mut state = Skus(GroupedStats::new(&sweep, &["sku"]));
+    if !run_resumable(&sweep, vec![], session, spec, &mut state)? {
+        return Ok(None);
+    }
+    let sku = |label| state.0.get(&[label]).and_then(Clone::clone).expect("both SKUs streamed");
+    Ok(Some(ManyCoreResult { epyc_7502: sku("EPYC 7502"), epyc_7742: sku("EPYC 7742") }))
 }
 
 /// Renders the prediction table.

@@ -16,10 +16,14 @@ use crate::report::{compare, compare_precise, Table};
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::methodology::{mean, std_dev};
 use zen2_sim::perf::ThreadCounters;
 use zen2_sim::time::from_secs;
-use zen2_sim::{Axis, GroupedStats, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
+use zen2_sim::{
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, Json, Probe, Run, Scenario,
+    Session, SimConfig, Snapshot, SnapshotError, Sweep, Window,
+};
 use zen2_topology::{SocketId, ThreadId};
 
 /// Paper reference values for one SMT mode.
@@ -93,6 +97,36 @@ pub struct Fig6Result {
     pub smt: ModeResult,
     /// Without SMT.
     pub no_smt: ModeResult,
+}
+
+/// A mode's reduced result snapshots exactly (for checkpoint/resume —
+/// the [`GroupedStats`] accumulator here is `Option<ModeResult>`).
+impl Snapshot for ModeResult {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("smt", Json::Bool(self.smt)),
+            ("freq_ghz", Json::f64(self.freq_ghz)),
+            ("freq_std_mhz", Json::f64(self.freq_std_mhz)),
+            ("ipc", Json::f64(self.ipc)),
+            ("ipc_std", Json::f64(self.ipc_std)),
+            ("ac_w", Json::f64(self.ac_w)),
+            ("rapl_pkg_w", Json::f64(self.rapl_pkg_w)),
+            ("true_pkg_w", Json::f64(self.true_pkg_w)),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            smt: json.get("smt")?.as_bool()?,
+            freq_ghz: json.get("freq_ghz")?.as_f64()?,
+            freq_std_mhz: json.get("freq_std_mhz")?.as_f64()?,
+            ipc: json.get("ipc")?.as_f64()?,
+            ipc_std: json.get("ipc_std")?.as_f64()?,
+            ac_w: json.get("ac_w")?.as_f64()?,
+            rapl_pkg_w: json.get("rapl_pkg_w")?.as_f64()?,
+            true_pkg_w: json.get("true_pkg_w")?.as_f64()?,
+        })
+    }
 }
 
 /// Measurement window start: 0.2 s settling + pre-heat + 0.1 s re-settle.
@@ -177,13 +211,45 @@ pub fn run(cfg: &Config, seed: u64) -> Fig6Result {
 
 /// [`run`] on an explicit session (the worker/shard-invariance hook).
 fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig6Result {
+    run_checkpointed(cfg, seed, session, &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume: persists the per-mode reductions at
+/// every shard boundary per `spec` and resumes byte-identically.
+/// Returns `None` on a deliberate `--halt-after` halt.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<Fig6Result>, CheckpointError> {
     let sweep = sweep(cfg, seed);
-    let mut modes: GroupedStats<Option<ModeResult>> = GroupedStats::new(&sweep, &["smt"]);
-    sweep
-        .stream(session, |i, run| *modes.entry(i) = Some(reduce(&run, SMT_MODES[i].1)))
-        .expect("fig06 scenarios validate");
-    let mode = |label| modes.get(&[label]).and_then(Clone::clone).expect("both modes streamed");
-    Fig6Result { smt: mode("on"), no_smt: mode("off") }
+    /// The resumable accumulator: one reduced result per SMT mode.
+    struct Modes(GroupedStats<Option<ModeResult>>);
+    impl CheckpointState for Modes {
+        fn save_into(&self, checkpoint: &mut Checkpoint) {
+            checkpoint.set_grouped("modes", &self.0);
+        }
+        fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+            self.0 = checkpoint.grouped("modes", &self.0)?;
+            Ok(())
+        }
+        fn fold(&mut self, index: usize, run: Run) {
+            *self.0.entry(index) = Some(reduce(&run, SMT_MODES[index].1));
+        }
+    }
+    let mut state = Modes(GroupedStats::new(&sweep, &["smt"]));
+    if !run_resumable(&sweep, vec![], session, spec, &mut state)? {
+        return Ok(None);
+    }
+    let mode = |label| state.0.get(&[label]).and_then(Clone::clone).expect("both modes streamed");
+    Ok(Some(Fig6Result { smt: mode("on"), no_smt: mode("off") }))
 }
 
 /// Renders the paper-style comparison.

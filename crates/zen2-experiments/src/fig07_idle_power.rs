@@ -11,15 +11,20 @@
 //! Every configuration is one declarative [`Scenario`]; the whole grid is
 //! a two-axis [`Sweep`] (sweep kind × thread count) streamed through the
 //! [`Session`] worker pool, with the curves folded out of a
-//! [`GroupedStats`] bucket keyed by both axes.
+//! [`GroupedStats`] bucket keyed by both axes. [`run_checkpointed`]
+//! persists that bucket (and the all-C2 baseline) at every shard
+//! boundary for the `--checkpoint` / `--resume` workflow of
+//! `docs/SWEEPS.md`.
 
 use crate::report::{compare, Table};
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::{
-    Axis, GroupedStats, OnlineStats, Probe, Scenario, Session, SimConfig, Sweep, Window,
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, OnlineStats, Probe, Run,
+    Scenario, Session, SimConfig, Sweep, Window,
 };
 use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
@@ -169,11 +174,29 @@ pub fn run(cfg: &Config, seed: u64) -> Fig7Result {
 
 /// [`run`] on an explicit session (the worker/shard-invariance hook).
 fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig7Result {
+    run_checkpointed(cfg, seed, session, &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume: persists the grouped staircase cells
+/// and the all-C2 baseline at every shard boundary per `spec`, and
+/// resumes byte-identically. Returns `None` on a deliberate
+/// `--halt-after` halt.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<Fig7Result>, CheckpointError> {
     let sim_cfg = SimConfig::epyc_7502_2s();
     let numbering = CpuNumbering::linux_default(&sim_cfg.topology);
 
     let sweep = sweep(cfg, seed);
-    let mut grouped: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["kind", "threads"]);
     // The all-C2 baseline sits outside the kind × count seed layout
     // (historical seed 999), so it rides along as one extra case
     // appended to the grid stream, sharing the grid's booted prototype.
@@ -183,21 +206,18 @@ fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig7Result {
         scenario(cfg, &numbering, None, 0),
         seeds::child(seed, 999),
     );
-    let grid_len = sweep.len();
-    let mut baseline_w = 0.0;
-    session
-        .run_streaming(sweep.cases().chain(std::iter::once(baseline_case)), |i, run| {
-            if i < grid_len {
-                grouped.entry(i).push(run.watts(AC));
-            } else {
-                baseline_w = run.watts(AC);
-            }
-        })
-        .expect("fig07 scenarios validate");
+    let mut state = Fig7State {
+        grid_len: sweep.len(),
+        grouped: GroupedStats::new(&sweep, &["kind", "threads"]),
+        baseline: OnlineStats::new(),
+    };
+    if !run_resumable(&sweep, vec![baseline_case], session, spec, &mut state)? {
+        return Ok(None);
+    }
 
     // One grouped row per (kind, count) cell, in grid order — fold them
     // back into the figure's per-kind curves.
-    let mut rows = grouped.rows();
+    let mut rows = state.grouped.rows();
     let curves = kinds(cfg)
         .into_iter()
         .map(|kind| Curve {
@@ -206,7 +226,36 @@ fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig7Result {
             ac_w: rows.by_ref().take(cfg.thread_counts.len()).map(|(_, s)| s.mean()).collect(),
         })
         .collect();
-    Fig7Result { baseline_w, curves }
+    Ok(Some(Fig7Result { baseline_w: state.baseline.mean(), curves }))
+}
+
+/// The resumable accumulator bundle: the grouped staircase cells plus
+/// the all-C2 baseline rider.
+struct Fig7State {
+    grid_len: usize,
+    grouped: GroupedStats<OnlineStats>,
+    baseline: OnlineStats,
+}
+
+impl CheckpointState for Fig7State {
+    fn save_into(&self, checkpoint: &mut Checkpoint) {
+        checkpoint.set_grouped("grid", &self.grouped);
+        checkpoint.set_single("baseline", &self.baseline);
+    }
+
+    fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+        self.grouped = checkpoint.grouped("grid", &self.grouped)?;
+        self.baseline = checkpoint.single("baseline")?;
+        Ok(())
+    }
+
+    fn fold(&mut self, index: usize, run: Run) {
+        if index < self.grid_len {
+            self.grouped.entry(index).push(run.watts(AC));
+        } else {
+            self.baseline.push(run.watts(AC));
+        }
+    }
 }
 
 /// Derived staircase parameters from a C1 curve.

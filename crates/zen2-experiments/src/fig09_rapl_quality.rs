@@ -14,15 +14,19 @@
 //! three-axis [`Sweep`] streamed through the [`Session`] worker pool
 //! (idle, which has no placement or frequency fan-out, runs as its own
 //! single-case grid), and the scatter rows come back through a
-//! [`GroupedStats`] bucket keyed by all three axes.
+//! [`GroupedStats`] bucket keyed by all three axes. [`run_checkpointed`]
+//! persists those buckets at every shard boundary for the
+//! `--checkpoint` / `--resume` workflow documented in `docs/SWEEPS.md`.
 
 use crate::report::Table;
 use crate::seeds;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::{
-    Axis, GroupedStats, OnlineStats, Probe, Run, Scenario, Session, SimConfig, Sweep, Window,
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, Json, OnlineStats, Probe, Run,
+    Scenario, Session, SimConfig, Snapshot, SnapshotError, Sweep, Window,
 };
 use zen2_topology::{CpuNumbering, LogicalCpu, ThreadId};
 
@@ -140,6 +144,53 @@ impl CellStats {
     }
 }
 
+/// The resumable accumulator bundle: the grouped scatter cells plus the
+/// idle rider's cell.
+struct Fig9State {
+    grid_len: usize,
+    grouped: GroupedStats<CellStats>,
+    idle: CellStats,
+}
+
+impl CheckpointState for Fig9State {
+    fn save_into(&self, checkpoint: &mut Checkpoint) {
+        checkpoint.set_grouped("grid", &self.grouped);
+        checkpoint.set_single("idle", &self.idle);
+    }
+
+    fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+        self.grouped = checkpoint.grouped("grid", &self.grouped)?;
+        self.idle = checkpoint.single("idle")?;
+        Ok(())
+    }
+
+    fn fold(&mut self, index: usize, run: Run) {
+        if index < self.grid_len {
+            self.grouped.entry(index).observe(&run);
+        } else {
+            self.idle.observe(&run);
+        }
+    }
+}
+
+impl Snapshot for CellStats {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("ac", self.ac.snapshot()),
+            ("pkg", self.pkg.snapshot()),
+            ("core", self.core.snapshot()),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            ac: OnlineStats::restore(json.get("ac")?)?,
+            pkg: OnlineStats::restore(json.get("pkg")?)?,
+            core: OnlineStats::restore(json.get("core")?)?,
+        })
+    }
+}
+
 /// The non-idle grid as a declarative [`Sweep`]: workload × placement ×
 /// frequency, the joint point scenario built in the finish hook. The
 /// seed derivation reproduces the module's historical flat job indices
@@ -206,9 +257,28 @@ pub fn run(cfg: &Config, seed: u64) -> Fig9Result {
 
 /// [`run`] on an explicit session (the worker/shard-invariance hook).
 fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig9Result {
+    run_checkpointed(cfg, seed, session, &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume: persists the grouped scatter cells
+/// and the idle rider at every shard boundary per `spec`, resumes from
+/// `spec`'s checkpoint when asked, and produces output byte-identical
+/// to an uninterrupted run. Returns `None` when the run halted early
+/// (`--halt-after`), with the checkpoint holding everything needed to
+/// resume.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<Fig9Result>, CheckpointError> {
     let sweep = sweep(cfg, seed);
-    let mut grouped: GroupedStats<CellStats> =
-        GroupedStats::new(&sweep, &["workload", "placement", "freq"]);
     // Idle has no placement/frequency fan-out, so it rides along as one
     // extra case appended to the grid stream (sharing the grid's booted
     // prototype) at its historical flat-index seed.
@@ -219,21 +289,19 @@ fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig9Result {
         point_scenario(cfg, KernelClass::Idle, 0, false, 2500),
         seeds::child(seed, idle_index),
     );
-    let grid_len = sweep.len();
-    let mut idle = CellStats::default();
-    session
-        .run_streaming(sweep.cases().chain(std::iter::once(idle_case)), |i, run| {
-            if i < grid_len {
-                grouped.entry(i).observe(&run);
-            } else {
-                idle.observe(&run);
-            }
-        })
-        .expect("fig09 scenarios validate");
+    let mut state = Fig9State {
+        grid_len: sweep.len(),
+        grouped: GroupedStats::new(&sweep, &["workload", "placement", "freq"]),
+        idle: CellStats::default(),
+    };
+    if !run_resumable(&sweep, vec![idle_case], session, spec, &mut state)? {
+        return Ok(None);
+    }
 
     // Reassemble the scatter in the historical jobs order: the grouped
     // rows arrive in grid order (workload-major), with idle spliced
     // back in at its legend position.
+    let (grouped, idle) = (state.grouped, state.idle);
     let mut rows = grouped.rows();
     let mut points = Vec::new();
     for class in classes() {
@@ -249,7 +317,7 @@ fn run_with(cfg: &Config, seed: u64, session: &Session) -> Fig9Result {
         }
     }
 
-    fit(points)
+    Ok(Some(fit(points)))
 }
 
 /// Builds one scatter [`Point`] from a grid cell's streamed statistics.
@@ -396,6 +464,62 @@ mod tests {
             assert_eq!(streamed.worst_residual_w, materialized.worst_residual_w);
         }
         assert_eq!(tables(&run(&cfg, seed))[0].to_json(), tables(&materialized)[0].to_json());
+    }
+
+    #[test]
+    fn halted_run_resumes_to_byte_identical_output() {
+        // Interrupt after one checkpoint save (a clean stand-in for a
+        // kill right after the save), resume from the file, and the
+        // final report must be byte-identical to an uninterrupted run —
+        // across different worker/shard splits on the two halves.
+        let cfg = quick();
+        let seed = 86;
+        let clean = run(&cfg, seed);
+        let path =
+            std::env::temp_dir().join(format!("zen2-fig09-resume-test-{}", std::process::id()));
+        let halted = run_checkpointed(
+            &cfg,
+            seed,
+            &Session::new().workers(2).shard_size(3),
+            &CheckpointSpec { halt_after: Some(1), ..CheckpointSpec::at(&path) },
+        )
+        .unwrap();
+        assert!(halted.is_none(), "the run must actually halt mid-grid");
+        let resumed = run_checkpointed(
+            &cfg,
+            seed,
+            &Session::new().workers(7).shard_size(2),
+            &CheckpointSpec::resume_from(&path),
+        )
+        .unwrap()
+        .expect("resumed run completes");
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(render(&resumed), render(&clean));
+        assert_eq!(tables(&resumed)[0].to_json(), tables(&clean)[0].to_json());
+        assert_eq!(resumed.fit_slope.to_bits(), clean.fit_slope.to_bits());
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_from_another_grid() {
+        // A checkpoint written at one scale must not silently misfold
+        // into a differently shaped grid.
+        let path =
+            std::env::temp_dir().join(format!("zen2-fig09-mismatch-test-{}", std::process::id()));
+        let cfg = quick();
+        let halted = run_checkpointed(
+            &cfg,
+            87,
+            &Session::new().workers(2).shard_size(3),
+            &CheckpointSpec { halt_after: Some(1), ..CheckpointSpec::at(&path) },
+        )
+        .unwrap();
+        assert!(halted.is_none());
+        let reshaped = Config { freqs_mhz: vec![1500], ..cfg };
+        let err =
+            run_checkpointed(&reshaped, 87, &Session::new(), &CheckpointSpec::resume_from(&path))
+                .unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(err.to_string().contains("grid shape"), "{err}");
     }
 
     #[test]

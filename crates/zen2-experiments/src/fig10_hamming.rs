@@ -27,8 +27,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::methodology::mean;
-use zen2_sim::{Axis, GroupedStats, Probe, Scenario, Session, SimConfig, Sweep, Window};
+use zen2_sim::{
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, Json, Probe, Run, Scenario,
+    Session, SimConfig, Snapshot, SnapshotError, Sweep, Window,
+};
 use zen2_topology::{CoreId, ThreadId};
 
 /// Per-weight sample sets for one metric.
@@ -141,6 +145,42 @@ struct WeightBuckets {
     rapl_pkg_w: WeightSamples,
 }
 
+impl Snapshot for WeightSamples {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("w0", Json::f64s(self.w0.iter().copied())),
+            ("w05", Json::f64s(self.w05.iter().copied())),
+            ("w1", Json::f64s(self.w1.iter().copied())),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            w0: json.get("w0")?.as_f64s()?,
+            w05: json.get("w05")?.as_f64s()?,
+            w1: json.get("w1")?.as_f64s()?,
+        })
+    }
+}
+
+impl Snapshot for WeightBuckets {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("ac_w", self.ac_w.snapshot()),
+            ("rapl_core0_w", self.rapl_core0_w.snapshot()),
+            ("rapl_pkg_w", self.rapl_pkg_w.snapshot()),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            ac_w: WeightSamples::restore(json.get("ac_w")?)?,
+            rapl_core0_w: WeightSamples::restore(json.get("rapl_core0_w")?)?,
+            rapl_pkg_w: WeightSamples::restore(json.get("rapl_pkg_w")?)?,
+        })
+    }
+}
+
 /// The weight sweep as a declarative [`Sweep`]: a single-value
 /// instruction axis (the blocks of one instruction must share one
 /// machine, so they stay inside one case), plus the pre-drawn per-block
@@ -161,30 +201,68 @@ pub fn run(cfg: &Config, seed: u64, class: KernelClass) -> Fig10Result {
 
 /// [`run`] on an explicit session (the worker/shard-invariance hook).
 fn run_with(cfg: &Config, seed: u64, class: KernelClass, session: &Session) -> Fig10Result {
+    run_checkpointed(cfg, seed, class, session, &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume. The grid is a single case (the
+/// blocks must share one machine), so the only possible cut is after
+/// that case completes — `--checkpoint` still makes a finished run
+/// re-emittable via `--resume` without re-simulating, and the flag
+/// exists uniformly across every wide-grid binary. Returns `None` on a
+/// deliberate `--halt-after` halt.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    class: KernelClass,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<Fig10Result>, CheckpointError> {
     assert!(
         matches!(class, KernelClass::VXorps | KernelClass::Shr),
         "Fig. 10 sweeps vxorps or shr"
     );
     let (sweep, weights) = sweep(cfg, seed, class);
-    let mut grouped: GroupedStats<WeightBuckets> = GroupedStats::new(&sweep, &["instr"]);
-    sweep
-        .stream(session, |i, run| {
-            let buckets = grouped.entry(i);
-            for (k, &weight) in weights.iter().enumerate() {
+    /// The resumable accumulator: the per-weight buckets, routed by the
+    /// pre-drawn block weight sequence.
+    struct Buckets {
+        grouped: GroupedStats<WeightBuckets>,
+        weights: Vec<OperandWeight>,
+    }
+    impl CheckpointState for Buckets {
+        fn save_into(&self, checkpoint: &mut Checkpoint) {
+            checkpoint.set_grouped("buckets", &self.grouped);
+        }
+        fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+            self.grouped = checkpoint.grouped("buckets", &self.grouped)?;
+            Ok(())
+        }
+        fn fold(&mut self, index: usize, run: Run) {
+            let buckets = self.grouped.entry(index);
+            for (k, &weight) in self.weights.iter().enumerate() {
                 buckets.ac_w.push(weight, run.watts(&format!("ac{k}")));
                 buckets.rapl_core0_w.push(weight, run.watts(&format!("core0_{k}")));
                 buckets.rapl_pkg_w.push(weight, run.watts_pair(&format!("pkg{k}")).0);
             }
-        })
-        .expect("fig10 scenario validates");
+        }
+    }
+    let mut state = Buckets { grouped: GroupedStats::new(&sweep, &["instr"]), weights };
+    if !run_resumable(&sweep, vec![], session, spec, &mut state)? {
+        return Ok(None);
+    }
     let (_, buckets) =
-        grouped.into_rows().next().expect("the instruction axis has exactly one group");
-    Fig10Result {
+        state.grouped.into_rows().next().expect("the instruction axis has exactly one group");
+    Ok(Some(Fig10Result {
         instruction: class.name().into(),
         ac_w: buckets.ac_w,
         rapl_core0_w: buckets.rapl_core0_w,
         rapl_pkg_w: buckets.rapl_pkg_w,
-    }
+    }))
 }
 
 /// Renders the paper-style summary.

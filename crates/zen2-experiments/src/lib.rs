@@ -12,9 +12,12 @@
 //! Sweeps are expressed declaratively: each configuration is a
 //! `(SimConfig, Scenario, seed)` [`Case`](zen2_sim::Case) with a
 //! deterministic child seed, and the batch executes through a
-//! [`Session`](zen2_sim::Session) worker pool — no experiment module
-//! spawns threads itself, and results are byte-identical regardless of
-//! parallelism.
+//! [`Session`] worker pool — no experiment module spawns threads
+//! itself, and results are byte-identical regardless of parallelism.
+//! The wide-grid modules additionally expose a `run_checkpointed`
+//! entry point wired to the uniform `--checkpoint` / `--resume` /
+//! `--halt-after` flags ([`CheckpointCli`]); `docs/SWEEPS.md` documents
+//! that workflow end to end.
 //!
 //! | Module | Paper item |
 //! |--------|-----------|
@@ -53,6 +56,9 @@ pub mod sec7_update_rate;
 pub mod seeds;
 pub mod tab1_mixed_freq;
 
+use std::path::PathBuf;
+use zen2_sim::{CheckpointError, CheckpointSpec, Session};
+
 /// Experiment size: the paper's full parameters or a CI-friendly subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -81,6 +87,148 @@ impl Scale {
     }
 }
 
+/// The uniform checkpoint/resume command-line flags of the wide-grid
+/// binaries (`fig06`, `fig07`, `fig09`, `fig10`, `tab1`, `ext_manycore`,
+/// `all`):
+///
+/// * `--checkpoint <path>` — persist the sweep's accumulators to
+///   `<path>` at every shard boundary (atomic replace; a kill at any
+///   instant leaves a valid checkpoint).
+/// * `--resume` — pick the run back up from the checkpoint at `<path>`
+///   (a missing file starts fresh, so restart scripts are idempotent).
+/// * `--halt-after <n>` — testing aid: halt cleanly after `n`
+///   checkpoint saves, exactly as a kill right after the save would.
+///
+/// `docs/SWEEPS.md` documents the workflow end to end.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointCli {
+    /// The `--checkpoint` path, when given.
+    pub path: Option<PathBuf>,
+    /// Whether `--resume` was passed.
+    pub resume: bool,
+    /// The `--halt-after` count, when given.
+    pub halt_after: Option<usize>,
+}
+
+impl CheckpointCli {
+    /// Parses the process arguments (ignoring unrelated flags such as
+    /// `--json` and `--paper`).
+    ///
+    /// # Errors
+    /// Errors with a usage message on an incomplete or inconsistent
+    /// flag set.
+    pub fn from_args() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut cli = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--checkpoint" => {
+                    let path = args.next().ok_or("--checkpoint needs a file path")?;
+                    cli.path = Some(PathBuf::from(path));
+                }
+                "--resume" => cli.resume = true,
+                "--halt-after" => {
+                    let n = args.next().ok_or("--halt-after needs a shard count")?;
+                    cli.halt_after =
+                        Some(n.parse().map_err(|_| format!("--halt-after {n:?}: not a count"))?);
+                }
+                _ => {}
+            }
+        }
+        if cli.path.is_none() {
+            if cli.resume {
+                return Err("--resume requires --checkpoint <path>".into());
+            }
+            if cli.halt_after.is_some() {
+                return Err("--halt-after requires --checkpoint <path>".into());
+            }
+        }
+        Ok(cli)
+    }
+
+    /// The [`CheckpointSpec`] a single-experiment binary hands its
+    /// `run_checkpointed`.
+    pub fn spec(&self) -> CheckpointSpec {
+        CheckpointSpec { path: self.path.clone(), resume: self.resume, halt_after: self.halt_after }
+    }
+
+    /// The per-experiment spec the `all` binary derives: the configured
+    /// path with `-<experiment>` appended, so one `--checkpoint` prefix
+    /// yields one file per wide-grid experiment. `--halt-after` is a
+    /// single-binary testing aid and is not propagated.
+    pub fn spec_for(&self, experiment: &str) -> CheckpointSpec {
+        let path = self.path.as_ref().map(|p| {
+            let mut name = p.as_os_str().to_os_string();
+            name.push(format!("-{experiment}"));
+            PathBuf::from(name)
+        });
+        CheckpointSpec { path, resume: self.resume, halt_after: None }
+    }
+}
+
+/// Builds the session a wide-grid binary streams through, honoring the
+/// optional `--workers <n>` / `--shard-size <n>` flags. Results never
+/// depend on either (the determinism contract); the flags control
+/// parallelism and — because checkpoints are cut at shard boundaries,
+/// every `workers × shard_size` cases — checkpoint granularity.
+///
+/// # Errors
+/// Errors with a usage message on a malformed flag.
+pub fn session_from_args() -> Result<Session, String> {
+    let mut session = Session::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let take = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+            let n = args.next().ok_or(format!("{flag} needs a count"))?;
+            n.parse::<usize>().map_err(|_| format!("{flag} {n:?}: not a count"))
+        };
+        match arg.as_str() {
+            "--workers" => session = session.workers(take(&mut args, "--workers")?),
+            "--shard-size" => session = session.shard_size(take(&mut args, "--shard-size")?),
+            _ => {}
+        }
+    }
+    Ok(session)
+}
+
+/// The `main` of every checkpointed wide-grid binary: parses the
+/// checkpoint and session flags, runs the experiment, and either emits
+/// the report (text or `--json`, via [`report::emit`]) or explains the
+/// outcome — usage errors exit 2, checkpoint failures exit 1, and a
+/// deliberate `--halt-after` halt exits 0 with a resume hint on stderr.
+pub fn run_checkpointed_bin<R>(
+    name: &str,
+    run: impl FnOnce(&Session, &CheckpointSpec) -> Result<Option<R>, CheckpointError>,
+    render: impl FnOnce(&R) -> String,
+    tables: impl FnOnce(&R) -> Vec<report::Table>,
+) {
+    let usage = |message: String| -> ! {
+        eprintln!("{name}: {message}");
+        std::process::exit(2);
+    };
+    let cli = CheckpointCli::from_args().unwrap_or_else(|message| usage(message));
+    let session = session_from_args().unwrap_or_else(|message| usage(message));
+    match run(&session, &cli.spec()) {
+        Ok(Some(result)) => report::emit(|| render(&result), || tables(&result)),
+        Ok(None) => {
+            let path = cli.path.as_deref().unwrap_or_else(|| std::path::Path::new("<path>"));
+            eprintln!(
+                "{name}: halted mid-sweep (--halt-after); \
+                 resume with --checkpoint {} --resume",
+                path.display()
+            );
+        }
+        Err(error) => {
+            eprintln!("{name}: {error}");
+            std::process::exit(1);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +237,38 @@ mod tests {
     fn scale_picks() {
         assert_eq!(Scale::Quick.pick(1, 100), 1);
         assert_eq!(Scale::Paper.pick(1, 100), 100);
+    }
+
+    fn parse(args: &[&str]) -> Result<CheckpointCli, String> {
+        CheckpointCli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn checkpoint_cli_parses_the_flag_triple() {
+        let cli = parse(&["--json", "--checkpoint", "ck.json", "--resume"]).unwrap();
+        assert_eq!(cli.path.as_deref(), Some(std::path::Path::new("ck.json")));
+        assert!(cli.resume);
+        assert_eq!(cli.halt_after, None);
+        let cli = parse(&["--checkpoint", "ck", "--halt-after", "3"]).unwrap();
+        assert_eq!(cli.halt_after, Some(3));
+        assert_eq!(parse(&["--paper"]).unwrap(), CheckpointCli::default());
+    }
+
+    #[test]
+    fn checkpoint_cli_rejects_incomplete_flags() {
+        assert!(parse(&["--checkpoint"]).is_err());
+        assert!(parse(&["--resume"]).unwrap_err().contains("--checkpoint"));
+        assert!(parse(&["--halt-after", "2"]).unwrap_err().contains("--checkpoint"));
+        assert!(parse(&["--checkpoint", "ck", "--halt-after", "soon"]).is_err());
+    }
+
+    #[test]
+    fn spec_for_appends_the_experiment_name() {
+        let cli = parse(&["--checkpoint", "run/ck", "--resume", "--halt-after", "2"]).unwrap();
+        let spec = cli.spec_for("fig09");
+        assert_eq!(spec.path.as_deref(), Some(std::path::Path::new("run/ck-fig09")));
+        assert!(spec.resume);
+        assert_eq!(spec.halt_after, None, "halt-after is not propagated to `all`");
+        assert_eq!(cli.spec().halt_after, Some(2));
     }
 }

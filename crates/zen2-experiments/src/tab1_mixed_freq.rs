@@ -15,9 +15,13 @@ use crate::report::Table;
 use crate::Scale;
 use serde::Serialize;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::perf::ThreadCounters;
 use zen2_sim::time::{from_secs, Ns, MILLISECOND};
-use zen2_sim::{Axis, Probe, Run, Scenario, Session, SimConfig, Sweep, Window};
+use zen2_sim::{
+    Axis, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, OnlineStats, Probe, Run,
+    Scenario, Session, SimConfig, Sweep, Window,
+};
 use zen2_topology::ThreadId;
 
 /// The swept frequencies (GHz ×1000), in the paper's order.
@@ -105,17 +109,55 @@ pub fn sweep(cfg: &Config, seed: u64) -> Sweep {
 
 /// Runs the full 3×3 matrix through the streaming sweep engine.
 pub fn run(cfg: &Config, seed: u64) -> Tab1Result {
+    run_checkpointed(cfg, seed, &Session::new(), &CheckpointSpec::none())
+        .expect("checkpointing disabled")
+        .expect("no halt configured")
+}
+
+/// [`run`] with checkpoint/resume: persists the per-cell reductions at
+/// every shard boundary per `spec` and resumes byte-identically (the
+/// mean of a cell's single observation is that observation, exactly).
+/// Returns `None` on a deliberate `--halt-after` halt.
+///
+/// # Errors
+/// Errors when the checkpoint cannot be read, written, or does not
+/// belong to this grid.
+pub fn run_checkpointed(
+    cfg: &Config,
+    seed: u64,
+    session: &Session,
+    spec: &CheckpointSpec,
+) -> Result<Option<Tab1Result>, CheckpointError> {
+    let sweep = sweep(cfg, seed);
+    /// The resumable accumulator: one frequency reduction per cell.
+    struct Cells(GroupedStats<OnlineStats>);
+    impl CheckpointState for Cells {
+        fn save_into(&self, checkpoint: &mut Checkpoint) {
+            checkpoint.set_grouped("cells", &self.0);
+        }
+        fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+            self.0 = checkpoint.grouped("cells", &self.0)?;
+            Ok(())
+        }
+        fn fold(&mut self, index: usize, run: Run) {
+            self.0.entry(index).push(reduce(&run));
+        }
+    }
+    let mut state = Cells(GroupedStats::new(&sweep, &["set", "others"]));
+    if !run_resumable(&sweep, vec![], session, spec, &mut state)? {
+        return Ok(None);
+    }
     let mut measured = [[0.0; 3]; 3];
-    sweep(cfg, seed)
-        .stream(&Session::new(), |flat, run| measured[flat / 3][flat % 3] = reduce(&run))
-        .expect("tab1 scenarios validate");
+    for (flat, (_, cell)) in state.0.rows().enumerate() {
+        measured[flat / 3][flat % 3] = cell.mean();
+    }
     let mut worst = 0.0f64;
     for (row, paper_row) in measured.iter().zip(&PAPER_GHZ) {
         for (&cell, &paper) in row.iter().zip(paper_row) {
             worst = worst.max((cell - paper).abs() / paper);
         }
     }
-    Tab1Result { measured_ghz: measured, worst_rel_err: worst }
+    Ok(Some(Tab1Result { measured_ghz: measured, worst_rel_err: worst }))
 }
 
 /// Renders the paper-style table (paper value / measured value per cell).

@@ -52,8 +52,13 @@
 //!   trace reductions) turning arbitrarily large sweeps into
 //!   bounded-size summaries, including [`GroupedStats`] buckets keyed
 //!   by sweep axes for per-frequency / per-config rows.
+//! * [`snapshot`] / [`checkpoint`] — exact JSON snapshots of every
+//!   aggregator and the durable checkpoint files built from them, so a
+//!   paper-scale sweep interrupted at a shard boundary resumes with
+//!   byte-identical output (see `docs/SWEEPS.md`).
 
 pub mod ccx;
+pub mod checkpoint;
 pub mod config;
 pub mod controller;
 pub mod cstate;
@@ -65,6 +70,7 @@ pub mod probe;
 pub mod scenario;
 pub mod session;
 pub mod smu;
+pub mod snapshot;
 pub mod stats;
 pub mod sweep;
 pub mod system;
@@ -75,10 +81,12 @@ pub mod wakeup;
 #[cfg(test)]
 mod proptests;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
 pub use config::SimConfig;
 pub use probe::{EventFilter, Measurement, Probe, ProbeSpec, Run, Window};
 pub use scenario::{Op, Scenario, ScenarioError, Step};
-pub use session::{Case, Session, SessionError, SessionErrorKind};
+pub use session::{Case, Session, SessionError, SessionErrorKind, StreamControl, StreamEvent};
+pub use snapshot::{Json, Snapshot, SnapshotError};
 pub use stats::{FreqResidency, GroupedStats, OnlineStats, P2Quantile, TransitionStats, Welford};
 pub use sweep::{Axis, CaseDraft, Sweep};
 pub use system::System;

@@ -1,11 +1,53 @@
-//! Property-based tests of the simulator's control machinery.
+//! Property-based tests of the simulator's control machinery and of the
+//! exact snapshot round-trips behind checkpoint/resume.
 
 use crate::ccx;
 use crate::config::{SimConfig, SmuParams};
 use crate::controller::PptController;
 use crate::smu::Smu;
+use crate::snapshot::Snapshot;
+use crate::stats::{
+    FreqResidency, GroupedStats, OnlineStats, P2Quantile, TransitionStats, Welford,
+};
 use crate::time::MILLISECOND;
+use crate::trace::{Event, Record};
 use proptest::prelude::*;
+use zen2_topology::CoreId;
+
+/// Finite `f64`s spanning the whole bit space (exponent extremes,
+/// subnormals, awkward fractions — the values a decimal round-trip is
+/// most likely to get wrong).
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        // Non-finite values cannot enter accumulators through `push`;
+        // fold them back into the finite range deterministically.
+        if v.is_finite() {
+            v
+        } else {
+            (bits % 1_000_003) as f64 / 997.0
+        }
+    })
+}
+
+/// Asserts one accumulator's snapshot round-trip is exact: the restored
+/// value compares equal, re-snapshots identically, and continues
+/// bit-identically on further input.
+fn assert_exact_round_trip<S>(original: &S, mut feed: impl FnMut(&mut S))
+where
+    S: Snapshot + PartialEq + std::fmt::Debug,
+{
+    let text = original.to_json_text();
+    let restored = S::from_json_text(&text).expect("snapshot restores");
+    assert_eq!(&restored, original);
+    assert_eq!(restored.to_json_text(), text, "re-snapshot must be identical");
+    let mut a = S::from_json_text(&text).unwrap();
+    let mut b = S::from_json_text(&text).unwrap();
+    feed(&mut a);
+    feed(&mut b);
+    assert_eq!(a, b);
+    assert_eq!(a.to_json_text(), b.to_json_text(), "continuation must be bit-identical");
+}
 
 fn vf_points() -> Vec<(u32, f64)> {
     vec![(1500, 0.85), (2200, 0.95), (2500, 1.00)]
@@ -98,5 +140,75 @@ proptest! {
             prop_assert!(est <= target + step_w + 1e-9);
             prop_assert!(est >= target - cfg.controller.deadband_w - step_w - 1e-9);
         }
+    }
+
+    /// Every scalar-stream accumulator's snapshot restores the exact
+    /// state: equal, re-snapshots identically, continues bit-identically.
+    #[test]
+    fn scalar_snapshots_round_trip(
+        xs in prop::collection::vec(arb_finite_f64(), 0..60),
+        extra in arb_finite_f64(),
+    ) {
+        let mut welford = Welford::new();
+        let mut online = OnlineStats::new();
+        let mut p2 = P2Quantile::new(0.37);
+        for &x in &xs {
+            welford.push(x);
+            online.push(x);
+            p2.push(x);
+        }
+        assert_exact_round_trip(&welford, |w| w.push(extra));
+        assert_exact_round_trip(&online, |o| o.push(extra));
+        assert_exact_round_trip(&p2, |q| q.push(extra));
+    }
+
+    /// Trace-reduction accumulators round-trip exactly for arbitrary
+    /// request/apply record streams.
+    #[test]
+    fn trace_snapshots_round_trip(
+        events in prop::collection::vec(
+            (any::<bool>(), 0u64..5_000_000, prop::sample::select(vec![1500u32, 2200, 2500])),
+            0..40,
+        ),
+    ) {
+        let mut at = 0;
+        let records: Vec<Record> = events
+            .into_iter()
+            .map(|(apply, gap, mhz)| {
+                at += gap;
+                let event = if apply {
+                    Event::FreqApplied { core: CoreId(0), mhz, fast_path: false }
+                } else {
+                    Event::FreqRequested { core: CoreId(0), target_mhz: mhz }
+                };
+                Record { at_ns: at, event }
+            })
+            .collect();
+        let window = (records.first().map_or(0, |r| r.at_ns), at + 1);
+
+        let mut residency = FreqResidency::new();
+        residency.observe(&records, window.0, window.1);
+        let mut transitions = TransitionStats::new();
+        transitions.observe(&records);
+
+        assert_exact_round_trip(&residency, |r| r.observe(&records, window.0, window.1));
+        assert_exact_round_trip(&transitions, |t| t.observe(&records));
+    }
+
+    /// Grouped reducers round-trip exactly for any subset of touched
+    /// cells, and restored reducers keep routing case indices the same.
+    #[test]
+    fn grouped_snapshots_round_trip(
+        touches in prop::collection::vec((0usize..12, arb_finite_f64()), 0..40),
+        extra in 0usize..12,
+    ) {
+        let sweep = crate::sweep::Sweep::new("prop", SimConfig::epyc_7502_2s())
+            .axis(crate::sweep::Axis::param("a", [0.0, 1.0, 2.0]))
+            .axis(crate::sweep::Axis::param("b", [0.0, 1.0, 2.0, 3.0]));
+        let mut grouped: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["a"]);
+        for &(case, x) in &touches {
+            grouped.entry(case).push(x);
+        }
+        assert_exact_round_trip(&grouped, |g| g.entry(extra).push(0.5));
     }
 }

@@ -20,7 +20,11 @@
 //! consumes a lazy case iterator (e.g. [`Sweep::cases`](crate::Sweep::cases))
 //! one shard-group at a time and delivers each completed [`Run`] to a
 //! sink in case order, holding at most `workers × shard_size` cases in
-//! memory.
+//! memory. [`Session::run_streaming_checkpointed`] is the same path
+//! with two additions for interruptible paper-scale sweeps: the sink
+//! also observes every shard boundary (a consistent cut to persist
+//! accumulator snapshots at) and delivery indices can start at a resume
+//! offset.
 //!
 //! ```
 //! use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
@@ -166,6 +170,71 @@ impl Session {
         })
     }
 
+    /// [`run_streaming`](Self::run_streaming) with a checkpoint hook:
+    /// the callback observes every delivery *and* every shard boundary,
+    /// and delivered indices start at `first_index` — the two pieces a
+    /// resumable sweep needs.
+    ///
+    /// [`StreamEvent::ShardBoundary`] fires after each shard's runs have
+    /// been delivered (including the last), carrying the index of the
+    /// next case the stream will execute. At that instant every case
+    /// below the boundary has been folded into the caller's accumulators
+    /// and nothing above it has — a consistent cut to persist (see
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint)). `first_index`
+    /// offsets delivery indices for resumed streams: pass the index of
+    /// the first case in `cases` (e.g. the `done` count of a loaded
+    /// checkpoint, with `cases = sweep.skip(done)`).
+    ///
+    /// The callback steers the stream: [`StreamControl::Halt`] stops
+    /// cleanly after the current event (the paper-scale "stop now,
+    /// resume later" path — the caller sees fewer deliveries than cases
+    /// and knows the stream is incomplete), and an `Err` aborts with
+    /// [`SessionErrorKind::CheckpointFailed`] (e.g. the checkpoint file
+    /// could not be written). Returns the number of runs delivered by
+    /// *this* call.
+    ///
+    /// ```
+    /// use zen2_sim::{Case, Probe, Scenario, Session, SimConfig, Window};
+    /// use zen2_sim::{StreamControl, StreamEvent};
+    ///
+    /// let mut sc = Scenario::new();
+    /// sc.probe("ac", Probe::AcPowerW, Window::at(0));
+    /// let case = |i: usize| {
+    ///     Case::new(format!("case{i}"), SimConfig::epyc_7502_2s(), sc.clone(), i as u64)
+    /// };
+    /// // Resume at case 4 of 10: indices continue where the first run
+    /// // stopped, and every shard boundary offers a durable cut.
+    /// let mut delivered = Vec::new();
+    /// let mut boundaries = Vec::new();
+    /// let session = Session::new().workers(2).shard_size(2);
+    /// let n = session
+    ///     .run_streaming_checkpointed(4, (4..10).map(case), |event| {
+    ///         match event {
+    ///             StreamEvent::Run { index, .. } => delivered.push(index),
+    ///             StreamEvent::ShardBoundary { next } => boundaries.push(next),
+    ///         }
+    ///         Ok(StreamControl::Continue)
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(n, 6);
+    /// assert_eq!(delivered, [4, 5, 6, 7, 8, 9]);
+    /// assert_eq!(boundaries, [8, 10]); // workers × shard_size = 4 per shard
+    /// ```
+    pub fn run_streaming_checkpointed<I, F>(
+        &self,
+        first_index: usize,
+        cases: I,
+        on_event: F,
+    ) -> Result<usize, SessionError>
+    where
+        I: IntoIterator<Item = Case>,
+        F: FnMut(StreamEvent) -> Result<StreamControl, String>,
+    {
+        self.run_streaming_events_with(first_index, cases, on_event, |sys, case| {
+            sys.run_scenario_prechecked(&case.scenario)
+        })
+    }
+
     /// [`run`](Self::run) with an injectable per-case executor, so the
     /// panic-containment machinery is testable without a scenario that
     /// slips past validation only to explode at runtime.
@@ -236,10 +305,46 @@ impl Session {
         I: IntoIterator<Item = Case>,
         F: FnMut(usize, Run),
     {
+        self.run_streaming_events_with(
+            0,
+            cases,
+            |event| {
+                if let StreamEvent::Run { index, run } = event {
+                    sink(index, run);
+                }
+                Ok(StreamControl::Continue)
+            },
+            execute,
+        )
+    }
+
+    /// The streaming core every public streaming entry point reduces
+    /// to: pulls `cases` one shard-group (`workers × shard_size` cases)
+    /// at a time, executes each shard on the worker pool, and reports
+    /// deliveries and shard boundaries through `on_event` with indices
+    /// offset by `first_index`.
+    fn run_streaming_events_with<I, F>(
+        &self,
+        first_index: usize,
+        cases: I,
+        mut on_event: F,
+        execute: impl Fn(&mut System, &Case) -> Run + Sync,
+    ) -> Result<usize, SessionError>
+    where
+        I: IntoIterator<Item = Case>,
+        F: FnMut(StreamEvent) -> Result<StreamControl, String>,
+    {
         let group = self.workers.saturating_mul(self.shard);
         let mut iter = cases.into_iter();
         let mut cache = PrototypeCache::new(PROTOTYPE_CACHE_CAP);
         let mut delivered = 0usize;
+        // Forwards one event, attributing a callback failure to `at`.
+        let mut notify = |event: StreamEvent, at: &str| -> Result<StreamControl, SessionError> {
+            on_event(event).map_err(|message| SessionError {
+                case: at.to_string(),
+                kind: SessionErrorKind::CheckpointFailed(message),
+            })
+        };
         loop {
             let shard_cases: Vec<Case> = iter.by_ref().take(group).collect();
             if shard_cases.is_empty() {
@@ -257,8 +362,12 @@ impl Session {
             for (case, outcome) in shard_cases.iter().zip(outcomes) {
                 match outcome {
                     Ok(run) => {
-                        sink(delivered, run);
+                        let event = StreamEvent::Run { index: first_index + delivered, run };
+                        let control = notify(event, &case.label)?;
                         delivered += 1;
+                        if matches!(control, StreamControl::Halt) {
+                            return Ok(delivered);
+                        }
                     }
                     Err(panic) => {
                         return Err(SessionError {
@@ -268,8 +377,44 @@ impl Session {
                     }
                 }
             }
+            let next = first_index + delivered;
+            let boundary = StreamEvent::ShardBoundary { next };
+            if let StreamControl::Halt = notify(boundary, &format!("shard boundary at {next}"))? {
+                return Ok(delivered);
+            }
         }
     }
+}
+
+/// One notification from the checkpointed streaming path
+/// ([`Session::run_streaming_checkpointed`]).
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// Case `index`'s completed run, delivered in case order.
+    Run {
+        /// The case's global index (`first_index` + deliveries so far).
+        index: usize,
+        /// The completed run.
+        run: Run,
+    },
+    /// Every case with index < `next` has been delivered and nothing at
+    /// or above `next` has — a consistent cut for persisting
+    /// accumulator snapshots.
+    ShardBoundary {
+        /// The index of the next case the stream will execute.
+        next: usize,
+    },
+}
+
+/// What a checkpointed stream should do after an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamControl {
+    /// Keep streaming.
+    Continue,
+    /// Stop cleanly after this event: remaining cases are not executed
+    /// and the call returns `Ok` with the deliveries so far (the
+    /// deliberate mid-run halt of a checkpointed sweep).
+    Halt,
 }
 
 /// Validates one case, attributing any scenario error to its label.
@@ -438,6 +583,11 @@ pub enum SessionErrorKind {
     /// The case panicked mid-simulation (an engine bug, not a scenario
     /// authoring error); the other cases still ran to completion.
     WorkerPanicked(String),
+    /// The streaming event callback failed (typically: a checkpoint
+    /// file could not be written at a shard boundary); the stream
+    /// stopped at the failing event. The `case` field names the
+    /// delivery or boundary the callback was handling.
+    CheckpointFailed(String),
 }
 
 impl fmt::Display for SessionError {
@@ -449,6 +599,9 @@ impl fmt::Display for SessionError {
             SessionErrorKind::WorkerPanicked(message) => {
                 write!(f, "case {:?}: worker panicked: {}", self.case, message)
             }
+            SessionErrorKind::CheckpointFailed(message) => {
+                write!(f, "checkpoint at {:?} failed: {}", self.case, message)
+            }
         }
     }
 }
@@ -457,7 +610,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.kind {
             SessionErrorKind::InvalidScenario(error) => Some(error),
-            SessionErrorKind::WorkerPanicked(_) => None,
+            SessionErrorKind::WorkerPanicked(_) | SessionErrorKind::CheckpointFailed(_) => None,
         }
     }
 }
@@ -562,6 +715,65 @@ mod tests {
             Session::new().run_streaming(vec![bad], |_, _| panic!("must not deliver")).unwrap_err();
         assert_eq!(err.case, "inverted");
         assert!(matches!(err.kind, SessionErrorKind::InvalidScenario(_)));
+    }
+
+    #[test]
+    fn checkpointed_stream_reports_boundaries_and_offsets_indices() {
+        let batch = cases(&["a", "b", "c", "d", "e"]);
+        let mut indices = Vec::new();
+        let mut boundaries = Vec::new();
+        let n = Session::new()
+            .workers(1)
+            .shard_size(2)
+            .run_streaming_checkpointed(10, batch, |event| {
+                match event {
+                    StreamEvent::Run { index, .. } => indices.push(index),
+                    StreamEvent::ShardBoundary { next } => boundaries.push(next),
+                }
+                Ok(StreamControl::Continue)
+            })
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(indices, [10, 11, 12, 13, 14]);
+        // Shards of 2 cases: boundaries after 2, 4 and 5 deliveries,
+        // including one after the final (short) shard.
+        assert_eq!(boundaries, [12, 14, 15]);
+    }
+
+    #[test]
+    fn checkpointed_stream_halts_cleanly_at_a_boundary() {
+        let batch = cases(&["a", "b", "c", "d", "e"]);
+        let mut delivered = 0;
+        let n = Session::new()
+            .workers(1)
+            .shard_size(2)
+            .run_streaming_checkpointed(0, batch, |event| {
+                Ok(match event {
+                    StreamEvent::Run { .. } => {
+                        delivered += 1;
+                        StreamControl::Continue
+                    }
+                    // Stop at the first boundary: cases 2.. never run.
+                    StreamEvent::ShardBoundary { .. } => StreamControl::Halt,
+                })
+            })
+            .unwrap();
+        assert_eq!((n, delivered), (2, 2));
+    }
+
+    #[test]
+    fn checkpoint_callback_failure_aborts_with_its_own_kind() {
+        let batch = cases(&["a", "b", "c"]);
+        let err = Session::new()
+            .workers(1)
+            .shard_size(2)
+            .run_streaming_checkpointed(0, batch, |event| match event {
+                StreamEvent::Run { .. } => Ok(StreamControl::Continue),
+                StreamEvent::ShardBoundary { .. } => Err("disk full".into()),
+            })
+            .unwrap_err();
+        assert!(matches!(err.kind, SessionErrorKind::CheckpointFailed(ref m) if m == "disk full"));
+        assert!(err.to_string().contains("disk full"));
     }
 
     #[test]

@@ -24,7 +24,16 @@
 //! shard size, so feeding these from a
 //! [`Session::run_streaming`](crate::Session::run_streaming) sink gives
 //! bit-identical summaries for any parallelism.
+//!
+//! Every aggregator also implements [`Snapshot`]: its exact state dumps
+//! to a JSON tree and restores bit-for-bit, which is what lets a
+//! [`Checkpoint`](crate::checkpoint::Checkpoint) persist a half-finished
+//! sweep at a shard boundary and resume it later with byte-identical
+//! output. `GroupedStats<A>` is snapshottable whenever its accumulator
+//! `A` is — including experiment-specific accumulators that implement
+//! [`Snapshot`] themselves.
 
+use crate::snapshot::{Json, Snapshot, SnapshotError};
 use crate::sweep::Sweep;
 use crate::time::Ns;
 use crate::trace::{Event, Record};
@@ -622,6 +631,256 @@ impl<A> GroupedStats<A> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Snapshot impls: exact JSON round-trips for checkpoint/resume. Every
+// field is persisted verbatim — nothing is re-derived on restore, so a
+// restored accumulator continues bit-identically to the original.
+// ---------------------------------------------------------------------
+
+impl Snapshot for Welford {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("count", Json::u64(self.count)),
+            ("mean", Json::f64(self.mean)),
+            ("m2", Json::f64(self.m2)),
+            ("min", Json::f64(self.min)),
+            ("max", Json::f64(self.max)),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            count: json.get("count")?.as_u64()?,
+            mean: json.get("mean")?.as_f64()?,
+            m2: json.get("m2")?.as_f64()?,
+            min: json.get("min")?.as_f64()?,
+            max: json.get("max")?.as_f64()?,
+        })
+    }
+}
+
+/// Reads a fixed-length `f64` array field.
+fn f64_array<const N: usize>(json: &Json) -> Result<[f64; N], SnapshotError> {
+    let values = json.as_f64s()?;
+    values.try_into().map_err(|_| SnapshotError::new(format!("expected an array of {N} numbers")))
+}
+
+impl Snapshot for P2Quantile {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("p", Json::f64(self.p)),
+            ("q", Json::f64s(self.q)),
+            ("n", Json::Arr(self.n.iter().map(|&v| Json::Num(v.to_string())).collect())),
+            ("np", Json::f64s(self.np)),
+            ("dn", Json::f64s(self.dn)),
+            ("initial", Json::f64s(self.initial.iter().copied())),
+            ("count", Json::u64(self.count)),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        let n_values: Vec<i64> =
+            json.get("n")?.items()?.iter().map(Json::as_i64).collect::<Result<_, _>>()?;
+        let n: [i64; 5] = n_values
+            .try_into()
+            .map_err(|_| SnapshotError::new("expected an array of 5 marker positions"))?;
+        let p = json.get("p")?.as_f64()?;
+        if !(p > 0.0 && p < 1.0) {
+            return Err(SnapshotError::new(format!("quantile {p} outside (0, 1)")));
+        }
+        Ok(Self {
+            p,
+            q: f64_array(json.get("q")?)?,
+            n,
+            np: f64_array(json.get("np")?)?,
+            dn: f64_array(json.get("dn")?)?,
+            initial: json.get("initial")?.as_f64s()?,
+            count: json.get("count")?.as_u64()?,
+        })
+    }
+}
+
+impl Snapshot for OnlineStats {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("welford", self.welford.snapshot()),
+            ("p50", self.p50.snapshot()),
+            ("p95", self.p95.snapshot()),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            welford: Welford::restore(json.get("welford")?)?,
+            p50: P2Quantile::restore(json.get("p50")?)?,
+            p95: P2Quantile::restore(json.get("p95")?)?,
+        })
+    }
+}
+
+impl Snapshot for FreqResidency {
+    fn snapshot(&self) -> Json {
+        let rows = self
+            .by_mhz
+            .iter()
+            .map(|(&mhz, &ns)| Json::Arr(vec![Json::u64(mhz as u64), Json::u64(ns)]))
+            .collect();
+        Json::obj([("unknown_ns", Json::u64(self.unknown_ns)), ("residency", Json::Arr(rows))])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        let mut by_mhz = BTreeMap::new();
+        for row in json.get("residency")?.items()? {
+            let [mhz, ns] = row.items()? else {
+                return Err(SnapshotError::new("expected [mhz, ns] residency pairs"));
+            };
+            let mhz = u32::try_from(mhz.as_u64()?)
+                .map_err(|_| SnapshotError::new("frequency exceeds u32"))?;
+            if by_mhz.insert(mhz, ns.as_u64()?).is_some() {
+                return Err(SnapshotError::new(format!("duplicate residency row for {mhz} MHz")));
+            }
+        }
+        Ok(Self { by_mhz, unknown_ns: json.get("unknown_ns")?.as_u64()? })
+    }
+}
+
+impl Snapshot for TransitionStats {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("completed", Json::u64(self.completed)),
+            ("fast_path", Json::u64(self.fast_path)),
+            ("latency_ns", self.latency_ns.snapshot()),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        Ok(Self {
+            completed: json.get("completed")?.as_u64()?,
+            fast_path: json.get("fast_path")?.as_u64()?,
+            latency_ns: OnlineStats::restore(json.get("latency_ns")?)?,
+        })
+    }
+}
+
+impl<A> GroupedStats<A> {
+    /// Whether `other` reduces the same grid the same way: same grouping
+    /// axes (names and value labels), same axis positions, same sweep
+    /// axis lengths. Accumulator contents are not compared — this is the
+    /// resume-time guard that a checkpoint belongs to the sweep being
+    /// resumed.
+    pub fn shape_matches(&self, other: &Self) -> bool {
+        self.axes == other.axes && self.positions == other.positions && self.lens == other.lens
+    }
+
+    /// A one-line rendering of the shape, for mismatch errors.
+    pub fn shape_description(&self) -> String {
+        let axes: Vec<String> =
+            self.axes.iter().map(|(name, values)| format!("{name}({})", values.len())).collect();
+        format!("grouped by [{}] over grid {:?}", axes.join(", "), self.lens)
+    }
+
+    /// The shape alone (axes, positions, lens) as JSON — the grouped
+    /// header line of a checkpoint file.
+    pub(crate) fn shape_snapshot(&self) -> Json {
+        let axes = self
+            .axes
+            .iter()
+            .map(|(name, values)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("values", Json::Arr(values.iter().map(|v| Json::str(v.clone())).collect())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("axes", Json::Arr(axes)),
+            ("positions", Json::usizes(self.positions.iter().copied())),
+            ("lens", Json::usizes(self.lens.iter().copied())),
+        ])
+    }
+
+    /// Rebuilds an empty reducer from a [`shape_snapshot`](Self::shape_snapshot).
+    pub(crate) fn restore_shape(json: &Json) -> Result<Self, SnapshotError> {
+        let mut axes = Vec::new();
+        for axis in json.get("axes")?.items()? {
+            let name = axis.get("name")?.as_str()?.to_string();
+            let values = axis
+                .get("values")?
+                .items()?
+                .iter()
+                .map(|v| Ok(v.as_str()?.to_string()))
+                .collect::<Result<Vec<_>, SnapshotError>>()?;
+            axes.push((name, values));
+        }
+        let positions = json.get("positions")?.as_usizes()?;
+        let lens = json.get("lens")?.as_usizes()?;
+        if positions.len() != axes.len() {
+            return Err(SnapshotError::new("positions and axes disagree in length"));
+        }
+        if positions.iter().any(|&p| p >= lens.len()) {
+            return Err(SnapshotError::new("grouping position outside the sweep's axes"));
+        }
+        Ok(Self { axes, positions, lens, groups: BTreeMap::new() })
+    }
+}
+
+impl<A: Snapshot> GroupedStats<A> {
+    /// One `{"key": …, "acc": …}` object per touched group, in grid
+    /// order — the row lines of a checkpoint file.
+    pub(crate) fn row_snapshots(&self) -> impl Iterator<Item = Json> + '_ {
+        self.groups.iter().map(|(key, acc)| {
+            Json::obj([("key", Json::usizes(key.iter().copied())), ("acc", acc.snapshot())])
+        })
+    }
+
+    /// Inserts one [`row_snapshots`](Self::row_snapshots) row back.
+    pub(crate) fn restore_row(&mut self, json: &Json) -> Result<(), SnapshotError> {
+        let key = json.get("key")?.as_usizes()?;
+        if key.len() != self.axes.len() {
+            return Err(SnapshotError::new(format!(
+                "group key {key:?} has {} indices, the shape groups by {} axes",
+                key.len(),
+                self.axes.len()
+            )));
+        }
+        for (i, (&v, (name, values))) in key.iter().zip(&self.axes).enumerate() {
+            if v >= values.len() {
+                return Err(SnapshotError::new(format!(
+                    "group key index {v} out of range for axis {name:?} (position {i}, {} values)",
+                    values.len()
+                )));
+            }
+        }
+        let acc = A::restore(json.get("acc")?)?;
+        if self.groups.insert(key.clone(), acc).is_some() {
+            return Err(SnapshotError::new(format!("duplicate group key {key:?}")));
+        }
+        Ok(())
+    }
+}
+
+/// The whole reducer — shape plus every touched group's accumulator —
+/// as one self-contained snapshot. Checkpoint files split the same data
+/// across lines (shape first, then one object per row) via the
+/// `pub(crate)` halves; this impl is the single-document form used by
+/// round-trip tests and ad-hoc persistence.
+impl<A: Snapshot> Snapshot for GroupedStats<A> {
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("shape", self.shape_snapshot()),
+            ("rows", Json::Arr(self.row_snapshots().collect())),
+        ])
+    }
+
+    fn restore(json: &Json) -> Result<Self, SnapshotError> {
+        let mut grouped = Self::restore_shape(json.get("shape")?)?;
+        for row in json.get("rows")?.items()? {
+            grouped.restore_row(row)?;
+        }
+        Ok(grouped)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -834,6 +1093,74 @@ mod tests {
         let sweep = shape_sweep();
         let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
         g.entry(6);
+    }
+
+    #[test]
+    fn snapshots_round_trip_exactly() {
+        let mut online = OnlineStats::new();
+        let mut welford = Welford::new();
+        let mut freq = FreqResidency::new();
+        let mut trans = TransitionStats::new();
+        for i in 0..100 {
+            let x = ((i * 37) % 101) as f64 / 7.0 - 5.0;
+            online.push(x);
+            welford.push(x);
+        }
+        freq.observe(&[applied(100, 2200), applied(300, 1500)], 0, 1000);
+        trans.observe(&[requested(100, 1500), applied(500, 1500)]);
+
+        assert_eq!(OnlineStats::from_json_text(&online.to_json_text()).unwrap(), online);
+        assert_eq!(Welford::from_json_text(&welford.to_json_text()).unwrap(), welford);
+        assert_eq!(FreqResidency::from_json_text(&freq.to_json_text()).unwrap(), freq);
+        assert_eq!(TransitionStats::from_json_text(&trans.to_json_text()).unwrap(), trans);
+
+        // A restored accumulator continues bit-identically.
+        let mut restored = OnlineStats::from_json_text(&online.to_json_text()).unwrap();
+        online.push(0.123456789);
+        restored.push(0.123456789);
+        assert_eq!(online, restored);
+        assert_eq!(online.p95().to_bits(), restored.p95().to_bits());
+    }
+
+    #[test]
+    fn grouped_snapshot_round_trips_and_guards_shape() {
+        let sweep = shape_sweep();
+        let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
+        for i in 0..4 {
+            g.entry(i).push(i as f64);
+        }
+        let restored = GroupedStats::<Welford>::from_json_text(&g.to_json_text()).unwrap();
+        assert_eq!(restored, g);
+        assert!(restored.shape_matches(&g));
+        // A reducer over different axes does not match.
+        let other: GroupedStats<Welford> = GroupedStats::new(&sweep, &["inner"]);
+        assert!(!other.shape_matches(&g));
+        assert!(g.shape_description().contains("outer(3)"));
+        // Restored reducers keep routing cases identically.
+        let mut a = g.clone();
+        let mut b = restored;
+        a.entry(5).push(9.0);
+        b.entry(5).push(9.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grouped_restore_rejects_corrupt_rows() {
+        let sweep = shape_sweep();
+        let mut g: GroupedStats<Welford> = GroupedStats::new(&sweep, &["outer"]);
+        g.entry(0).push(1.0);
+        let shape = g.shape_snapshot();
+        let mut fresh = GroupedStats::<Welford>::restore_shape(&shape).unwrap();
+        // Key arity mismatch.
+        let bad = Json::obj([("key", Json::usizes([0, 1])), ("acc", Welford::new().snapshot())]);
+        assert!(fresh.restore_row(&bad).is_err());
+        // Key index out of range for the axis.
+        let bad = Json::obj([("key", Json::usizes([9])), ("acc", Welford::new().snapshot())]);
+        assert!(fresh.restore_row(&bad).unwrap_err().to_string().contains("out of range"));
+        // Duplicate rows are rejected.
+        let row = g.row_snapshots().next().unwrap();
+        fresh.restore_row(&row).unwrap();
+        assert!(fresh.restore_row(&row).unwrap_err().to_string().contains("duplicate"));
     }
 
     #[test]

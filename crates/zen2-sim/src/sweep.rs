@@ -37,7 +37,7 @@
 use crate::config::SimConfig;
 use crate::probe::Run;
 use crate::scenario::Scenario;
-use crate::session::{Case, Session, SessionError};
+use crate::session::{Case, Session, SessionError, StreamControl, StreamEvent};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -329,6 +329,48 @@ impl Sweep {
     /// Lazily yields every case of the grid, in case-index order.
     pub fn cases(&self) -> impl Iterator<Item = Case> + '_ {
         (0..self.len()).map(|index| self.case(index))
+    }
+
+    /// Lazily yields the grid's cases starting at case `start` — the
+    /// resume path. Because every case is a pure function of its index
+    /// (seeds come from the sweep's seed derivation, labels and
+    /// scenarios from the axis decode), `skip(k)` re-derives exactly
+    /// the cases an interrupted run had left: same labels, same
+    /// `child_seed`s, same scenarios. A `start` at or beyond the grid
+    /// yields nothing.
+    ///
+    /// ```
+    /// use zen2_sim::{Axis, SimConfig, Sweep};
+    ///
+    /// let sweep = Sweep::new("grid", SimConfig::epyc_7502_2s())
+    ///     .seed(7)
+    ///     .axis(Axis::param("x", [0.0, 1.0, 2.0]))
+    ///     .axis(Axis::param("y", [0.0, 1.0]));
+    /// // Resuming at case 4 re-derives the identical tail of the grid.
+    /// let tail: Vec<_> = sweep.skip(4).map(|c| (c.label, c.seed)).collect();
+    /// let full: Vec<_> = sweep.cases().map(|c| (c.label, c.seed)).collect();
+    /// assert_eq!(tail, full[4..]);
+    /// assert_eq!(sweep.skip(99).count(), 0);
+    /// ```
+    pub fn skip(&self, start: usize) -> impl Iterator<Item = Case> + '_ {
+        (start.min(self.len())..self.len()).map(|index| self.case(index))
+    }
+
+    /// Streams the grid from case `start` through a session with the
+    /// checkpoint hook: `on_event` observes every delivery (with its
+    /// *global* case index) and every shard boundary, exactly as
+    /// [`Session::run_streaming_checkpointed`] describes. Pass the
+    /// `done` count of a loaded checkpoint as `start` to resume, or 0
+    /// to run the whole grid; either way, interrupt-at-a-boundary plus
+    /// resume is byte-identical to one uninterrupted run. Returns the
+    /// number of runs delivered by this call.
+    pub fn stream_checkpointed(
+        &self,
+        session: &Session,
+        start: usize,
+        on_event: impl FnMut(StreamEvent) -> Result<StreamControl, String>,
+    ) -> Result<usize, SessionError> {
+        session.run_streaming_checkpointed(start, self.skip(start), on_event)
     }
 
     /// Streams the whole grid through a session: each completed

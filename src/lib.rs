@@ -65,9 +65,10 @@ pub mod prelude {
     pub use zen2_isa::{KernelClass, OperandWeight, SmtMode};
     pub use zen2_mem::{DramFreq, IodPstate};
     pub use zen2_sim::{
-        Axis, Case, CaseDraft, EventFilter, FreqResidency, GroupedStats, Measurement, OnlineStats,
-        Probe, Run, Scenario, ScenarioError, Session, SessionError, SessionErrorKind, SimConfig,
-        Sweep, System, TransitionStats, Welford, Window,
+        Axis, Case, CaseDraft, Checkpoint, CheckpointError, CheckpointSpec, EventFilter,
+        FreqResidency, GroupedStats, Json, Measurement, OnlineStats, Probe, Run, Scenario,
+        ScenarioError, Session, SessionError, SessionErrorKind, SimConfig, Snapshot, SnapshotError,
+        StreamControl, StreamEvent, Sweep, System, TransitionStats, Welford, Window,
     };
     pub use zen2_topology::{CoreId, LogicalCpu, SocketId, ThreadId, Topology};
 }
