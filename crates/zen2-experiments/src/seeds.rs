@@ -21,6 +21,7 @@ mod tests {
         let a: Vec<u64> = (0..100).map(|i| child(42, i)).collect();
         let b: Vec<u64> = (0..100).map(|i| child(42, i)).collect();
         assert_eq!(a, b);
+        // zen2-lint: allow(no-unordered-iteration) — cardinality-only uniqueness check; never iterated
         let unique: HashSet<_> = a.iter().collect();
         assert_eq!(unique.len(), 100);
     }

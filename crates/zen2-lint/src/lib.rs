@@ -1,0 +1,283 @@
+//! `zen2-lint`: workspace determinism & contract static analysis.
+//!
+//! The reproduction's headline guarantee is a determinism contract —
+//! results are bit-identical across worker counts, shard sizes, and
+//! checkpoint interrupt/resume points (see `docs/ARCHITECTURE.md` and
+//! `docs/SWEEPS.md`). The bug classes that have broken it, or nearly
+//! did, are all statically recognizable; this crate makes the contract
+//! machine-checked on every PR instead of example-tested after the
+//! fact. The rule catalog, suppression syntax, and ratchet-file format
+//! are documented in `docs/LINTS.md`.
+//!
+//! No dependencies, by design: a hand-rolled lexer ([`lexer`]) strips
+//! comments and literals, and the rules ([`rules`]) run over tokens.
+//!
+//! Findings can be suppressed inline with a justified annotation:
+//!
+//! ```text
+//! // zen2-lint: allow(no-unordered-iteration) — membership-only duplicate check
+//! ```
+//!
+//! An own-line annotation covers the next line; a trailing annotation
+//! covers its own line. Reasons are mandatory, unknown rule names are
+//! findings, and suppressions that stop matching anything are findings
+//! too — annotations can never silently rot.
+
+pub mod lexer;
+pub mod ratchet;
+pub mod rules;
+pub mod workspace;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use lexer::{lex, test_line_ranges, Comment, Token};
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.rel, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed `// zen2-lint: allow(…) — reason` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// Line whose findings it suppresses.
+    pub covers_line: usize,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// One lexed source file plus everything the rules need to scope
+/// themselves: test-region lines, suppressions, and the relative path.
+pub struct SourceFile {
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    test_ranges: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+    /// Malformed-annotation findings discovered while parsing.
+    suppression_findings: Vec<Finding>,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file at workspace-relative path `rel`.
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let test_ranges = test_line_ranges(&lexed.tokens);
+        let mut f = SourceFile {
+            rel: rel.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            test_ranges,
+            suppressions: Vec::new(),
+            suppression_findings: Vec::new(),
+        };
+        let (supps, bad) = parse_suppressions(&f);
+        f.suppressions = supps;
+        f.suppression_findings = bad;
+        f
+    }
+
+    /// Whole-file test code: integration tests, benches, and the
+    /// `#[cfg(test)] mod proptests;` companion files.
+    pub fn is_test_file(&self) -> bool {
+        self.rel.starts_with("tests/")
+            || self.rel.contains("/tests/")
+            || self.rel.contains("/benches/")
+            || self.rel.ends_with("/proptests.rs")
+    }
+
+    /// True when `line` is test-only code (a test file, or inside a
+    /// `#[cfg(test)]` item).
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.is_test_file() || self.test_ranges.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    fn finding(&self, rule: &'static str, line: usize, message: impl Into<String>) -> Finding {
+        Finding { rule, rel: self.rel.clone(), line, message: message.into() }
+    }
+}
+
+/// The marker every annotation starts with (anywhere in a `//` comment).
+const MARKER: &str = "zen2-lint:";
+
+fn parse_suppressions(f: &SourceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut supps = Vec::new();
+    let mut bad = Vec::new();
+    for c in &f.comments {
+        // Doc comments (`///…` lexes as text starting with `/`, `//!`
+        // with `!`) are prose — annotation examples in rustdoc must not
+        // count as live suppressions.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find(MARKER) else { continue };
+        let rest = c.text[pos + MARKER.len()..].trim_start();
+        let mut fail = |why: &str| {
+            bad.push(f.finding(
+                rules::SUPPRESSION,
+                c.line,
+                format!(
+                    "malformed annotation ({why}); expected `zen2-lint: allow(<rule>) — <reason>`"
+                ),
+            ));
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            fail("missing `allow(`");
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            fail("unclosed `allow(`");
+            continue;
+        };
+        let names: Vec<String> = args[..close].split(',').map(|s| s.trim().to_string()).collect();
+        if let Some(unknown) =
+            names.iter().find(|n| n.is_empty() || !rules::ALL_RULES.contains(&n.as_str()))
+        {
+            fail(&format!("unknown rule `{unknown}`"));
+            continue;
+        }
+        // The reason follows a dash of any flavor (—, –, --, -).
+        let mut reason = args[close + 1..].trim_start();
+        for dash in ["—", "–", "--", "-"] {
+            if let Some(r) = reason.strip_prefix(dash) {
+                reason = r;
+                break;
+            }
+        }
+        let reason = reason.trim();
+        if reason.is_empty() {
+            fail("missing reason");
+            continue;
+        }
+        supps.push(Suppression {
+            line: c.line,
+            covers_line: if c.own_line { c.line + 1 } else { c.line },
+            rules: names,
+            reason: reason.to_string(),
+        });
+    }
+    (supps, bad)
+}
+
+/// Result of a full check: surviving findings (sorted, deduplicated),
+/// plus counts for the summary line.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressed: usize,
+    pub files: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "zen2-lint: {} finding(s), {} suppressed, {} files scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files
+        ));
+        out
+    }
+}
+
+/// Runs the whole rule set over `files` against `baseline`.
+///
+/// Suppressions apply to the line they cover, for the rules they name;
+/// `panic-ratchet` findings are exempt (the ratchet file is their
+/// ledger, an inline allow would just be a second, vaguer one). Unused
+/// suppressions become findings so annotations track the code.
+pub fn check_files(files: &[SourceFile], baseline: &ratchet::Baseline) -> Report {
+    let mut findings = Vec::new();
+    for f in files {
+        findings.extend(rules::lint_file(f));
+    }
+    findings.extend(rules::snapshot_coverage(files));
+
+    let mut suppressed = 0;
+    let mut used: Vec<Vec<bool>> =
+        files.iter().map(|f| vec![false; f.suppressions.len()]).collect();
+    findings.retain(|fd| {
+        let Some(fi) = files.iter().position(|f| f.rel == fd.rel) else { return true };
+        for (si, s) in files[fi].suppressions.iter().enumerate() {
+            if s.covers_line == fd.line && s.rules.iter().any(|r| r == fd.rule) {
+                used[fi][si] = true;
+                suppressed += 1;
+                return false;
+            }
+        }
+        true
+    });
+
+    findings.extend(rules::panic_ratchet(files, baseline));
+    for (fi, f) in files.iter().enumerate() {
+        findings.extend(f.suppression_findings.iter().cloned());
+        for (si, s) in f.suppressions.iter().enumerate() {
+            if !used[fi][si] {
+                findings.push(f.finding(
+                    rules::SUPPRESSION,
+                    s.line,
+                    format!(
+                        "unused suppression for `{}`: nothing on line {} triggers it — remove the annotation",
+                        s.rules.join(", "),
+                        s.covers_line
+                    ),
+                ));
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        (&a.rel, a.line, a.rule, &a.message).cmp(&(&b.rel, b.line, b.rule, &b.message))
+    });
+    findings.dedup();
+    Report { findings, suppressed, files: files.len() }
+}
+
+/// Loads the tree under `root` and checks it: the entry point shared by
+/// the CLI and the workspace meta-test.
+pub fn run_check(root: &Path) -> Result<Report, String> {
+    let files = load_tree(root)?;
+    let ratchet_path = root.join(workspace::RATCHET_FILE);
+    let baseline = match fs::read_to_string(&ratchet_path) {
+        Ok(text) => ratchet::parse(&text)?,
+        Err(_) => ratchet::Baseline::empty(),
+    };
+    Ok(check_files(&files, &baseline))
+}
+
+/// Lexes every lintable file under `root`.
+pub fn load_tree(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let listed =
+        workspace::collect(root).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(listed.len());
+    for (path, rel) in listed {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}

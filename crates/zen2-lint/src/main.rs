@@ -1,0 +1,85 @@
+//! CLI: `zen2-lint check` gates CI; `zen2-lint baseline` regenerates
+//! the panic-ratchet file after deliberate changes.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zen2_lint::{ratchet, rules, workspace};
+
+const USAGE: &str = "usage: zen2-lint <check|baseline> [--root <workspace-dir>]
+
+  check     run all rules over the workspace; exit 1 on any finding
+  baseline  rewrite zen2-lint.ratchet from current unwrap()/expect()
+            counts, preserving existing reasons";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root_arg = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "check" | "baseline" if cmd.is_none() => cmd = Some(a.clone()),
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            other => return usage_error(&format!("unrecognized argument `{other}`")),
+        }
+    }
+    let Some(cmd) = cmd else { return usage_error("missing subcommand") };
+
+    let root = match root_arg.or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        workspace::find_root(&cwd)
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("zen2-lint: no workspace root found (no ancestor Cargo.toml with [workspace]); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = match cmd.as_str() {
+        "check" => check(&root),
+        _ => baseline(&root),
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("zen2-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(why: &str) -> ExitCode {
+    eprintln!("zen2-lint: {why}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn check(root: &std::path::Path) -> Result<ExitCode, String> {
+    let report = zen2_lint::run_check(root)?;
+    print!("{}", report.render());
+    Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn baseline(root: &std::path::Path) -> Result<ExitCode, String> {
+    let files = zen2_lint::load_tree(root)?;
+    let counts = rules::panic_counts(&files);
+    let path = root.join(workspace::RATCHET_FILE);
+    let prior = match fs::read_to_string(&path) {
+        Ok(text) => ratchet::parse(&text)?,
+        Err(_) => ratchet::Baseline::empty(),
+    };
+    let rendered = ratchet::render(&counts, &prior);
+    fs::write(&path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    let todos = rendered.lines().filter(|l| l.contains("# TODO")).count();
+    println!(
+        "zen2-lint: wrote {} ({} entries, {todos} needing a reason)",
+        path.display(),
+        counts.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,112 @@
+//! The committed panic-ratchet file (`zen2-lint.ratchet`).
+//!
+//! One entry per `zen2-sim` source file that still has `unwrap()` /
+//! `expect()` calls in non-test code:
+//!
+//! ```text
+//! crates/zen2-sim/src/foo.rs = 3  # why those panic sites are fine
+//! ```
+//!
+//! The count is an exact pin, not just a ceiling: growth fails `check`,
+//! and shrinkage fails too (with a message telling you to regenerate),
+//! so the file on disk always matches reality and every entry carries a
+//! current, human-written reason. `render` preserves reasons across
+//! regeneration; new entries get a `TODO` reason, which `check` flags
+//! until a human replaces it.
+
+use std::collections::BTreeMap;
+
+/// One pinned file: its exact count and the justification.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub count: usize,
+    pub reason: String,
+}
+
+/// The parsed ratchet file, keyed by workspace-relative path.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: BTreeMap<String, Entry>,
+}
+
+impl Baseline {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Parses the ratchet file. Blank lines and `#`-leading comment lines
+/// are skipped; anything else must be `path = count  # reason`.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (body, reason) = match line.split_once('#') {
+            Some((b, r)) => (b.trim(), r.trim().to_string()),
+            None => (line, String::new()),
+        };
+        let (path, count) = body
+            .split_once('=')
+            .ok_or_else(|| format!("ratchet line {lineno}: expected `path = count  # reason`"))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("ratchet line {lineno}: count is not a number"))?;
+        let path = path.trim().to_string();
+        if entries.insert(path.clone(), Entry { count, reason }).is_some() {
+            return Err(format!("ratchet line {lineno}: duplicate entry for {path}"));
+        }
+    }
+    Ok(Baseline { entries })
+}
+
+/// Renders a fresh ratchet file from measured `counts` (path →
+/// `(count, first_line)`), carrying over the reason of any entry that
+/// already existed in `prior`.
+pub fn render(counts: &BTreeMap<String, (usize, usize)>, prior: &Baseline) -> String {
+    let mut out = String::from(
+        "# zen2-lint panic-ratchet: exact per-file unwrap()/expect() counts in\n\
+         # zen2-sim non-test code. `zen2-lint check` fails if a count moves in\n\
+         # either direction; regenerate with `cargo run -p zen2-lint -- baseline`\n\
+         # after deliberate changes. Every entry needs a `# reason`.\n",
+    );
+    for (path, (count, _)) in counts {
+        let reason = prior
+            .entries
+            .get(path)
+            .map(|e| e.reason.clone())
+            .filter(|r| !r.trim().is_empty())
+            .unwrap_or_else(|| "TODO: explain why these panic sites are acceptable".to_string());
+        out.push_str(&format!("{path} = {count}  # {reason}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_preserves_reasons() {
+        let prior = parse("crates/zen2-sim/src/a.rs = 2  # invariant X\n").unwrap();
+        assert_eq!(prior.entries["crates/zen2-sim/src/a.rs"].count, 2);
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/zen2-sim/src/a.rs".to_string(), (1, 10));
+        counts.insert("crates/zen2-sim/src/b.rs".to_string(), (4, 3));
+        let rendered = render(&counts, &prior);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed.entries["crates/zen2-sim/src/a.rs"].reason, "invariant X");
+        assert!(reparsed.entries["crates/zen2-sim/src/b.rs"].reason.starts_with("TODO"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("no equals sign").is_err());
+        assert!(parse("a.rs = notanumber").is_err());
+        assert!(parse("a.rs = 1\na.rs = 2").is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace discovery: which `.rs` files the lint pass covers.
+//!
+//! Scanned roots: `src/`, `tests/`, `examples/`, and `crates/` —
+//! excluding `crates/vendor/` (third-party shims, not ours to lint) and
+//! `crates/zen2-lint/tests/fixtures/` (deliberate violations used by
+//! the rule self-tests). Traversal is sorted so reports are
+//! byte-identical across runs and machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed panic-ratchet file at the workspace root.
+pub const RATCHET_FILE: &str = "zen2-lint.ratchet";
+
+const SCAN_ROOTS: &[&str] = &["src", "tests", "examples", "crates"];
+const SKIP_PREFIXES: &[&str] = &["crates/vendor/", "crates/zen2-lint/tests/fixtures/"];
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// All lintable `.rs` files under `root`, as `(absolute, relative)`
+/// pairs sorted by relative path. Relative paths always use `/`.
+pub fn collect(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, top, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk(dir: &Path, rel: &str, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let child_rel = format!("{rel}/{name}");
+        if SKIP_PREFIXES.iter().any(|p| child_rel.starts_with(p) || format!("{child_rel}/") == *p) {
+            continue;
+        }
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((path, child_rel));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,4 @@
+fn describe(cfg: &[u32]) -> String {
+    // Debug formatting for display (logs, error messages) is fine.
+    format!("cfg = {:?}", cfg)
+}

@@ -1,0 +1,6 @@
+use std::collections::BTreeMap;
+
+fn index(map: &mut BTreeMap<String, u32>, cfg: &[u32]) {
+    map.insert(format!("{:?}", cfg), 1);
+    let _ = map.get(&format!("{cfg:?}"));
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+fn legacy(map: &mut BTreeMap<String, u32>, cfg: &[u32]) {
+    map.insert(format!("{:?}", cfg), 1); // zen2-lint: allow(no-debug-keying) — version-pinned guard string, not an identity
+}

@@ -1,0 +1,3 @@
+fn no_threads(xs: &[i32]) -> i32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,7 @@
+use std::thread;
+
+fn fan_out() -> i32 {
+    let h = thread::spawn(|| 42);
+    thread::scope(|_s| {});
+    h.join().unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

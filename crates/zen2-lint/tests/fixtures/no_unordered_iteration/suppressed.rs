@@ -1,0 +1,7 @@
+use std::collections::HashSet;
+
+fn all_unique(xs: &[u64]) -> bool {
+    // zen2-lint: allow(no-unordered-iteration) — membership-only; never iterated
+    let seen: HashSet<&u64> = xs.iter().collect();
+    seen.len() == xs.len()
+}

@@ -1,0 +1,10 @@
+use zen2_sim::time::{Duration, Instant, Ns};
+
+fn plan(now: Instant, step: Duration) -> Ns {
+    // The virtual clock alias shares the name but is simulated time.
+    now + step
+}
+
+fn span_only() -> std::time::Duration {
+    std::time::Duration::from_millis(5)
+}

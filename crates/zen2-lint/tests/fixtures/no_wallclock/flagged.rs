@@ -1,0 +1,7 @@
+use std::time::{Duration, Instant};
+
+fn timing() -> u64 {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t0.elapsed().as_nanos() as u64 + Duration::from_secs(1).as_nanos() as u64
+}

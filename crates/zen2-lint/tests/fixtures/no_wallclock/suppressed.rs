@@ -1,0 +1,5 @@
+fn wall_probe() -> u64 {
+    // zen2-lint: allow(no-wallclock) — host-side diagnostics only; the value never reaches a Run
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,14 @@
+fn risky(v: &[u32]) -> u32 {
+    let a = v.first().unwrap();
+    let b = v.last().expect("non-empty");
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_only_panics_do_not_count() {
+        let s = "7".parse::<u32>().unwrap();
+        assert_eq!(super::risky(&[s]), 14);
+    }
+}

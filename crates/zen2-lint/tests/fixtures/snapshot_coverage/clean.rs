@@ -1,0 +1,9 @@
+struct Novel {
+    sum: f64,
+}
+
+impl Snapshot for Novel {}
+
+struct Bundle(GroupedStats<Novel>);
+
+struct Generic<A>(GroupedStats<A>);

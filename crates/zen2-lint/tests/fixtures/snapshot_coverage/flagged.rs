@@ -1,0 +1,5 @@
+struct Novel {
+    sum: f64,
+}
+
+struct Bundle(GroupedStats<Novel>);

@@ -1,0 +1,4 @@
+struct Imported;
+
+// zen2-lint: allow(snapshot-coverage) — impl Snapshot for Imported lives in the downstream tool crate
+struct Bundle(GroupedStats<Imported>);

@@ -1,0 +1,9 @@
+fn f() -> u32 {
+    // zen2-lint: allow(no-wallclock)
+    42
+}
+
+fn g() -> u32 {
+    // zen2-lint: allow(no-such-rule) — the rule name is wrong
+    42
+}

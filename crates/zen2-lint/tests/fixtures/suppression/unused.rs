@@ -1,0 +1,4 @@
+fn g() -> u32 {
+    // zen2-lint: allow(no-thread-escape) — nothing here spawns
+    42
+}

@@ -1,0 +1,204 @@
+//! Fixture-based self-tests: every rule must fire on its injected
+//! violation, stay quiet on the clean variant, and respect a justified
+//! inline suppression. Fixtures live under `tests/fixtures/` and are
+//! excluded from the workspace scan, so the deliberate violations in
+//! them never fail the real tree.
+
+use zen2_lint::{check_files, ratchet, Report, SourceFile};
+
+/// Runs the full engine over one fixture pretending to live at `rel`.
+fn check_at(rel: &str, text: &str) -> Report {
+    check_files(&[SourceFile::parse(rel, text)], &ratchet::Baseline::empty())
+}
+
+fn rule_lines(report: &Report, rule: &str) -> Vec<usize> {
+    report.findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+}
+
+/// Asserts the (flagged, clean, suppressed) triple for a rule: the
+/// flagged fixture fires on exactly `lines`, the clean one is silent,
+/// and the suppressed one is silent *because of* its annotation.
+fn assert_triple(
+    rule: &str,
+    rel: &str,
+    flagged: &str,
+    clean: &str,
+    suppressed: &str,
+    lines: &[usize],
+) {
+    let f = check_at(rel, flagged);
+    assert_eq!(rule_lines(&f, rule), lines, "{rule}: flagged fixture");
+    assert!(f.suppressed == 0, "{rule}: flagged fixture has no annotations");
+
+    let c = check_at(rel, clean);
+    assert!(c.is_clean(), "{rule}: clean fixture should pass, got:\n{}", c.render());
+
+    let s = check_at(rel, suppressed);
+    assert!(s.is_clean(), "{rule}: suppressed fixture should pass, got:\n{}", s.render());
+    assert!(s.suppressed > 0, "{rule}: the suppression must actually be exercised");
+}
+
+#[test]
+fn no_wallclock_triple() {
+    assert_triple(
+        "no-wallclock",
+        "crates/zen2-sim/src/fixture.rs",
+        include_str!("fixtures/no_wallclock/flagged.rs"),
+        include_str!("fixtures/no_wallclock/clean.rs"),
+        include_str!("fixtures/no_wallclock/suppressed.rs"),
+        &[1, 4, 5],
+    );
+}
+
+#[test]
+fn no_wallclock_bench_crate_is_allowlisted() {
+    let report = check_at(
+        "crates/zen2-bench/benches/fixture.rs",
+        include_str!("fixtures/no_wallclock/flagged.rs"),
+    );
+    assert!(report.is_clean(), "bench crate may read wall time:\n{}", report.render());
+}
+
+#[test]
+fn no_thread_escape_triple() {
+    assert_triple(
+        "no-thread-escape",
+        "crates/zen2-experiments/src/fixture.rs",
+        include_str!("fixtures/no_thread_escape/flagged.rs"),
+        include_str!("fixtures/no_thread_escape/clean.rs"),
+        include_str!("fixtures/no_thread_escape/suppressed.rs"),
+        &[4, 5],
+    );
+}
+
+#[test]
+fn no_thread_escape_session_is_home() {
+    let report = check_at(
+        "crates/zen2-sim/src/session.rs",
+        include_str!("fixtures/no_thread_escape/flagged.rs"),
+    );
+    assert!(
+        rule_lines(&report, "no-thread-escape").is_empty(),
+        "session.rs owns the worker pool:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn no_unordered_iteration_triple() {
+    // The `use` line must NOT be flagged — only construction sites.
+    assert_triple(
+        "no-unordered-iteration",
+        "crates/zen2-experiments/src/fixture.rs",
+        include_str!("fixtures/no_unordered_iteration/flagged.rs"),
+        include_str!("fixtures/no_unordered_iteration/clean.rs"),
+        include_str!("fixtures/no_unordered_iteration/suppressed.rs"),
+        &[4],
+    );
+}
+
+#[test]
+fn no_unordered_iteration_scoped_to_result_crates() {
+    let report = check_at(
+        "crates/zen2-rapl/src/fixture.rs",
+        include_str!("fixtures/no_unordered_iteration/flagged.rs"),
+    );
+    assert!(report.is_clean(), "non-result crates are out of scope:\n{}", report.render());
+}
+
+#[test]
+fn no_debug_keying_triple() {
+    assert_triple(
+        "no-debug-keying",
+        "crates/zen2-sim/src/fixture.rs",
+        include_str!("fixtures/no_debug_keying/flagged.rs"),
+        include_str!("fixtures/no_debug_keying/clean.rs"),
+        include_str!("fixtures/no_debug_keying/suppressed.rs"),
+        &[4, 5],
+    );
+}
+
+#[test]
+fn snapshot_coverage_triple() {
+    assert_triple(
+        "snapshot-coverage",
+        "crates/zen2-experiments/src/fixture.rs",
+        include_str!("fixtures/snapshot_coverage/flagged.rs"),
+        include_str!("fixtures/snapshot_coverage/clean.rs"),
+        include_str!("fixtures/snapshot_coverage/suppressed.rs"),
+        &[5],
+    );
+}
+
+#[test]
+fn snapshot_coverage_sees_impls_across_files() {
+    // The impl may live in any other scanned file.
+    let use_site = SourceFile::parse(
+        "crates/zen2-experiments/src/fixture.rs",
+        include_str!("fixtures/snapshot_coverage/flagged.rs"),
+    );
+    let impl_site =
+        SourceFile::parse("crates/zen2-sim/src/elsewhere.rs", "impl Snapshot for Novel {}\n");
+    let report = check_files(&[use_site, impl_site], &ratchet::Baseline::empty());
+    assert!(report.is_clean(), "cross-file impl must satisfy the rule:\n{}", report.render());
+}
+
+#[test]
+fn panic_ratchet_pins_counts_exactly() {
+    let rel = "crates/zen2-sim/src/fixture.rs";
+    let text = include_str!("fixtures/panic_ratchet/two_sites.rs");
+    let entry = |n: usize| {
+        ratchet::parse(&format!("{rel} = {n}  # fixture invariants\n")).expect("valid baseline")
+    };
+
+    // Exact match (test-module unwrap excluded): clean.
+    let ok = check_files(&[SourceFile::parse(rel, text)], &entry(2));
+    assert!(ok.is_clean(), "exact ceiling should pass:\n{}", ok.render());
+
+    // No entry at all: flagged.
+    let none = check_at(rel, text);
+    assert_eq!(rule_lines(&none, "panic-ratchet"), [2]);
+
+    // Growth past the ceiling: flagged.
+    let grew = check_files(&[SourceFile::parse(rel, text)], &entry(1));
+    assert_eq!(rule_lines(&grew, "panic-ratchet"), [2]);
+    assert!(grew.findings[0].message.contains("grew"));
+
+    // Shrinkage below the pin: flagged, telling you to tighten.
+    let shrank = check_files(&[SourceFile::parse(rel, text)], &entry(3));
+    assert_eq!(rule_lines(&shrank, "panic-ratchet"), [2]);
+    assert!(shrank.findings[0].message.contains("tighten"));
+}
+
+#[test]
+fn panic_ratchet_flags_stale_and_unexplained_entries() {
+    let clean_file = SourceFile::parse("crates/zen2-sim/src/fixture.rs", "fn ok() {}\n");
+    let baseline = ratchet::parse(
+        "crates/zen2-sim/src/gone.rs = 2  # TODO: explain why these panic sites are acceptable\n",
+    )
+    .expect("valid baseline");
+    let report = check_files(&[clean_file], &baseline);
+    let messages: Vec<_> = report.findings.iter().map(|f| (f.rule, f.message.as_str())).collect();
+    assert!(
+        messages.iter().any(|(r, m)| *r == "panic-ratchet" && m.contains("stale")),
+        "{messages:?}"
+    );
+    assert!(
+        messages.iter().any(|(r, m)| *r == "panic-ratchet" && m.contains("unexplained")),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn malformed_and_unused_annotations_are_findings() {
+    let bad = check_at(
+        "crates/zen2-sim/src/fixture.rs",
+        include_str!("fixtures/suppression/malformed.rs"),
+    );
+    assert_eq!(rule_lines(&bad, "suppression"), [2, 7], "{}", bad.render());
+
+    let unused =
+        check_at("crates/zen2-sim/src/fixture.rs", include_str!("fixtures/suppression/unused.rs"));
+    assert_eq!(rule_lines(&unused, "suppression"), [2], "{}", unused.render());
+    assert!(unused.findings[0].message.contains("unused"));
+}

@@ -1,0 +1,33 @@
+//! Meta-test: the real tree must be lint-clean. This is what keeps the
+//! determinism contract machine-checked on every `cargo test` run, not
+//! just in the dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn real_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = zen2_lint::run_check(&root).expect("workspace scan succeeds");
+    assert!(
+        report.is_clean(),
+        "the tree must pass `zen2-lint check`; findings:\n{}",
+        report.render()
+    );
+    // Sanity: the scan actually covered the workspace, not an empty dir.
+    assert!(report.files > 100, "only {} files scanned — wrong root?", report.files);
+}
+
+#[test]
+fn ratchet_file_is_committed_and_fully_explained() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join(zen2_lint::workspace::RATCHET_FILE))
+        .expect("zen2-lint.ratchet is committed at the workspace root");
+    let baseline = zen2_lint::ratchet::parse(&text).expect("ratchet file parses");
+    assert!(!baseline.entries.is_empty());
+    for (path, entry) in &baseline.entries {
+        assert!(
+            !entry.reason.trim().is_empty() && !entry.reason.starts_with("TODO"),
+            "ratchet entry for {path} has no real reason"
+        );
+    }
+}

@@ -310,6 +310,7 @@ impl Scenario {
             return Err(ScenarioError::ScenarioTooLong { end: self.end() });
         }
 
+        // zen2-lint: allow(no-unordered-iteration) — membership-only duplicate-label probe; never iterated
         let mut labels = std::collections::HashSet::new();
         for spec in &self.probes {
             if !labels.insert(spec.label.as_str()) {

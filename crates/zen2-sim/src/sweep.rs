@@ -402,6 +402,7 @@ mod tests {
         let a: Vec<u64> = (0..64).map(|i| child_seed(42, i)).collect();
         let b: Vec<u64> = (0..64).map(|i| child_seed(42, i)).collect();
         assert_eq!(a, b);
+        // zen2-lint: allow(no-unordered-iteration) — cardinality-only uniqueness check; never iterated
         let unique: std::collections::HashSet<_> = a.iter().collect();
         assert_eq!(unique.len(), 64);
         assert_ne!(child_seed(1, 0), child_seed(2, 0));
