@@ -1,0 +1,108 @@
+//! Sweep-throughput trajectory point: times the representative
+//! `bench_sweep` grids (10^3 and 10^4 cases, streaming and materialized
+//! execution) once each and writes `BENCH_7.json` at the workspace root
+//! — the first point in the `BENCH_*.json` history the ROADMAP's perf
+//! trajectory accumulates PR over PR.
+//!
+//! ```sh
+//! cargo run --release -p zen2-bench --bin bench_trajectory
+//! ```
+//!
+//! Unlike the Criterion benches this is a one-shot measurement: the
+//! artifact is a committed coarse trend line (is a PR a 2× regression?),
+//! not a statistically sampled comparison. Run it release-mode on an
+//! otherwise idle machine.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::time::Instant;
+
+use zen2_isa::{KernelClass, OperandWeight};
+use zen2_sim::stats::OnlineStats;
+use zen2_sim::time::MICROSECOND;
+use zen2_sim::{Axis, Case, Probe, Session, SimConfig, Sweep, Window};
+use zen2_topology::ThreadId;
+
+const WORKERS: usize = 4;
+const SHARD: usize = 16;
+
+/// The same representative grid as `benches/bench_sweep.rs`: load
+/// levels × repetitions, one instantaneous power read per case.
+fn grid(cases: usize) -> Sweep {
+    let levels = 8usize;
+    let mut base = zen2_sim::Scenario::new();
+    base.probe("ac", Probe::AcPowerW, Window::at(20 * MICROSECOND));
+    let mut load = Axis::new("busy_threads");
+    for n in 1..=levels as u32 {
+        load = load.with(format!("{n}"), move |draft| {
+            let mut at = draft.scenario.at(0);
+            for t in 0..n {
+                at = at.workload(ThreadId(t), KernelClass::BusyWait, OperandWeight::HALF);
+            }
+        });
+    }
+    Sweep::new("bench", SimConfig::epyc_7502_2s())
+        .scenario(base)
+        .seed(1)
+        .axis(load)
+        .axis(Axis::param("rep", (0..cases / levels).map(|r| r as f64)))
+}
+
+struct Point {
+    cases: usize,
+    style: &'static str,
+    cases_per_sec: f64,
+}
+
+fn measure(cases: usize) -> Vec<Point> {
+    let sweep = grid(cases);
+    assert_eq!(sweep.len(), cases);
+    let session = Session::new().workers(WORKERS).shard_size(SHARD);
+
+    let t = Instant::now();
+    let mut stats = OnlineStats::new();
+    let n = session
+        .run_streaming(sweep.cases(), |_, run| stats.push(run.watts("ac")))
+        .expect("sweep validates");
+    assert_eq!(n, cases);
+    let streaming = cases as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let materialized: Vec<Case> = sweep.cases().collect();
+    let runs = session.run(&materialized).expect("sweep validates");
+    assert_eq!(runs.len(), cases);
+    let materialized = cases as f64 / t.elapsed().as_secs_f64();
+
+    vec![
+        Point { cases, style: "streaming", cases_per_sec: streaming },
+        Point { cases, style: "materialized", cases_per_sec: materialized },
+    ]
+}
+
+fn main() {
+    let mut points = Vec::new();
+    for cases in [1_000usize, 10_000] {
+        eprintln!("timing {cases}-case grid…");
+        points.extend(measure(cases));
+    }
+
+    // Hand-rolled JSON, like the sim's snapshot writer: stable key
+    // order, one object per line, no dependencies.
+    let mut out = String::from("{\n  \"bench\": \"sweep_throughput\",\n");
+    let _ = writeln!(out, "  \"workers\": {WORKERS},");
+    let _ = writeln!(out, "  \"shard_size\": {SHARD},");
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"cases\": {}, \"style\": \"{}\", \"cases_per_sec\": {:.1}}}{sep}",
+            p.cases, p.style, p.cases_per_sec
+        );
+    }
+    out.push_str("  ]\n}\n");
+
+    fs::write("BENCH_7.json", &out).expect("write BENCH_7.json");
+    print!("{out}");
+    eprintln!("wrote BENCH_7.json");
+}

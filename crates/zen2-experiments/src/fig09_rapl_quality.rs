@@ -338,9 +338,13 @@ fn point(class: KernelClass, cores: usize, smt: bool, mhz: u32, cell: &CellStats
 fn fit(points: Vec<Point>) -> Fig9Result {
     // Least squares AC = a*rapl + b.
     let n = points.len() as f64;
+    // zen2-lint: allow(float-order) — single fixed-order pass over the grid-ordered point Vec
     let sx: f64 = points.iter().map(|p| p.rapl_pkg_w).sum();
+    // zen2-lint: allow(float-order) — single fixed-order pass over the grid-ordered point Vec
     let sy: f64 = points.iter().map(|p| p.ac_w).sum();
+    // zen2-lint: allow(float-order) — single fixed-order pass over the grid-ordered point Vec
     let sxx: f64 = points.iter().map(|p| p.rapl_pkg_w * p.rapl_pkg_w).sum();
+    // zen2-lint: allow(float-order) — single fixed-order pass over the grid-ordered point Vec
     let sxy: f64 = points.iter().map(|p| p.rapl_pkg_w * p.ac_w).sum();
     let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     let intercept = (sy - slope * sx) / n;
@@ -350,7 +354,7 @@ fn fit(points: Vec<Point>) -> Fig9Result {
     let memory: Vec<f64> =
         points.iter().filter(|p| p.workload.starts_with("memory")).map(residual).collect();
     let memory_residual =
-        if memory.is_empty() { 0.0 } else { memory.iter().sum::<f64>() / memory.len() as f64 };
+        if memory.is_empty() { 0.0 } else { memory.iter().sum::<f64>() / memory.len() as f64 }; // zen2-lint: allow(float-order) — residual Vec preserves grid point order; one pass
 
     Fig9Result {
         points,

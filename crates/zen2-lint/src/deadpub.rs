@@ -1,0 +1,112 @@
+//! The committed dead-pub baseline file (`zen2-lint.deadpub`).
+//!
+//! One entry per `pub` item the reachability pass ([`crate::graph`])
+//! cannot reach from any bin/test/bench/doctest root but that we keep
+//! anyway — staged API, analysis false positives:
+//!
+//! ```text
+//! crates/zen2-sim/src/foo.rs::widget = kept  # staged for the PR 8 merge path
+//! ```
+//!
+//! Same ratchet discipline as `zen2-lint.ratchet`: new dead items fail
+//! `check` until a human adds a reasoned entry (or deletes the item),
+//! stale entries fail until removed, and `TODO` reasons are findings.
+//! `render` preserves reasons across `zen2-lint baseline` runs.
+
+use std::collections::BTreeMap;
+
+/// The parsed baseline: `"<rel>::<name>"` → reason.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: BTreeMap<String, String>,
+}
+
+impl Baseline {
+    pub fn empty() -> Self {
+        Self::default()
+    }
+}
+
+/// Parses the baseline file. Blank lines and `#`-leading comment lines
+/// are skipped; anything else must be `path::name = kept  # reason`.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut entries = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (body, reason) = match line.split_once('#') {
+            Some((b, r)) => (b.trim(), r.trim().to_string()),
+            None => (line, String::new()),
+        };
+        let key = match body.split_once('=') {
+            Some((k, v)) if v.trim() == "kept" => k.trim().to_string(),
+            _ => {
+                return Err(format!(
+                    "deadpub line {lineno}: expected `path::name = kept  # reason`"
+                ))
+            }
+        };
+        if !key.contains("::") {
+            return Err(format!("deadpub line {lineno}: key must be `path::name`"));
+        }
+        if entries.insert(key.clone(), reason).is_some() {
+            return Err(format!("deadpub line {lineno}: duplicate entry for {key}"));
+        }
+    }
+    Ok(Baseline { entries })
+}
+
+/// Renders a fresh baseline from the current dead-item keys, carrying
+/// over the reason of any entry that already existed in `prior`.
+pub fn render(dead_keys: &[String], prior: &Baseline) -> String {
+    let mut out = String::from(
+        "# zen2-lint dead-pub baseline: pub items unreachable from every bin,\n\
+         # test, bench, and doctest root, kept anyway for a stated reason.\n\
+         # `zen2-lint check` fails on unlisted dead items and on stale entries;\n\
+         # regenerate with `cargo run -p zen2-lint -- baseline` after deliberate\n\
+         # changes. Prefer deleting the item or narrowing it to pub(crate).\n",
+    );
+    let mut keys: Vec<&String> = dead_keys.iter().collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let reason = prior
+            .entries
+            .get(key)
+            .cloned()
+            .filter(|r| !r.trim().is_empty())
+            .unwrap_or_else(|| "TODO: justify keeping this unreachable pub item".to_string());
+        out.push_str(&format!("{key} = kept  # {reason}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_preserves_reasons() {
+        let prior = parse("crates/zen2-sim/src/a.rs::helper = kept  # staged API\n").unwrap();
+        assert_eq!(prior.entries["crates/zen2-sim/src/a.rs::helper"], "staged API");
+        let keys = vec![
+            "crates/zen2-sim/src/a.rs::helper".to_string(),
+            "crates/zen2-sim/src/b.rs::other".to_string(),
+        ];
+        let rendered = render(&keys, &prior);
+        let reparsed = parse(&rendered).unwrap();
+        assert_eq!(reparsed.entries["crates/zen2-sim/src/a.rs::helper"], "staged API");
+        assert!(reparsed.entries["crates/zen2-sim/src/b.rs::other"].starts_with("TODO"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("no equals sign").is_err());
+        assert!(parse("a.rs::x = removed").is_err(), "only `kept` is a valid value");
+        assert!(parse("a.rs = kept").is_err(), "key must have ::name");
+        assert!(parse("a.rs::x = kept\na.rs::x = kept").is_err(), "duplicates");
+    }
+}

@@ -1,0 +1,319 @@
+//! dead-pub: cross-crate reachability of `pub` items.
+//!
+//! A `pub` item rustc never warns about can still be dead: `pub`
+//! silences the `dead_code` lint crate-wide, so unexercised public API
+//! accumulates silently — and unexercised API is exactly where contract
+//! rot starts (nothing tests it, nothing would notice it breaking).
+//! This pass walks a name-based item graph: roots are every identifier
+//! in bin/test/bench/example files, test regions and `use` items of
+//! library files, and fenced doctest code; liveness then propagates
+//! through item bodies (a live item's references become live; an impl
+//! block activates when its self type does). Top-level `pub` items
+//! whose name never becomes live are findings, ratcheted in the
+//! reason-annotated `zen2-lint.deadpub` baseline.
+//!
+//! Name-based means conservative: two items sharing a name keep each
+//! other alive, a struct field named like a dead fn keeps it alive, and
+//! macro-generated items are invisible. False *positives* are what the
+//! baseline file is for; false negatives just mean the ratchet tightens
+//! later.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::deadpub::Baseline;
+use crate::items::{Item, ItemKind, Visibility};
+use crate::lexer::{lex, TokenKind};
+use crate::rules::DEAD_PUB;
+use crate::workspace::DEADPUB_FILE;
+use crate::{Finding, SourceFile};
+
+/// One unreachable `pub` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadItem {
+    /// `"<rel>::<name>"` — the baseline key.
+    pub key: String,
+    pub rel: String,
+    pub name: String,
+    pub line: usize,
+    pub kind: ItemKind,
+}
+
+/// True for files that are reachability *roots* rather than library
+/// code: binaries, tests, benches, examples, and build scripts. Every
+/// identifier in them counts as a live reference.
+fn is_root_file(f: &SourceFile) -> bool {
+    f.is_test_file()
+        || f.rel.contains("/src/bin/")
+        || f.rel.ends_with("/main.rs")
+        || f.rel.contains("/examples/")
+        || f.rel.starts_with("examples/")
+        || f.rel.ends_with("/build.rs")
+}
+
+/// One node in the liveness worklist.
+struct DefNode {
+    name: String,
+    is_impl: bool,
+    impl_type: Option<String>,
+    refs: Vec<String>,
+    processed: bool,
+}
+
+/// All unreachable top-level `pub` items of the tree, sorted by key.
+pub fn dead_pub_items(files: &[SourceFile]) -> Vec<DeadItem> {
+    let mut live: BTreeSet<String> = BTreeSet::new();
+    let mut defs: Vec<DefNode> = Vec::new();
+    let mut findable: Vec<DeadItem> = Vec::new();
+
+    for f in files {
+        if is_root_file(f) {
+            for t in &f.tokens {
+                if t.kind == TokenKind::Ident {
+                    live.insert(t.text.clone());
+                }
+            }
+            continue;
+        }
+        // Library file: test regions are roots (tests exercise API),
+        // doctest fences are roots, `use` lists are roots, and every
+        // non-test item becomes a graph node.
+        for t in &f.tokens {
+            if t.kind == TokenKind::Ident && f.is_test_code(t.line) {
+                live.insert(t.text.clone());
+            }
+        }
+        doctest_refs(f, &mut live);
+        collect_defs(f, &f.items, &mut live, &mut defs, &mut findable);
+    }
+
+    let def_names: BTreeSet<String> =
+        defs.iter().filter(|d| !d.is_impl).map(|d| d.name.clone()).collect();
+
+    // Fixpoint: activating a node makes its references live, which may
+    // activate more nodes.
+    loop {
+        let mut changed = false;
+        for d in &mut defs {
+            if d.processed {
+                continue;
+            }
+            let active = if d.is_impl {
+                match &d.impl_type {
+                    // An impl of a workspace type runs iff the type is
+                    // used; an impl of a foreign type always counts.
+                    Some(t) => live.contains(t) || !def_names.contains(t),
+                    None => true,
+                }
+            } else {
+                live.contains(&d.name)
+            };
+            if active {
+                d.processed = true;
+                for r in &d.refs {
+                    if live.insert(r.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut dead: Vec<DeadItem> =
+        findable.into_iter().filter(|it| !live.contains(&it.name)).collect();
+    dead.sort_by(|a, b| a.key.cmp(&b.key));
+    dead.dedup_by(|a, b| a.key == b.key);
+    dead
+}
+
+/// Recursively collects graph nodes from a library file's item forest.
+/// Recursion descends only through `mod` bodies: impls and traits are
+/// single nodes (method-level liveness would be wrong under trait
+/// dispatch), fn bodies are opaque.
+fn collect_defs(
+    f: &SourceFile,
+    items: &[Item],
+    live: &mut BTreeSet<String>,
+    defs: &mut Vec<DefNode>,
+    findable: &mut Vec<DeadItem>,
+) {
+    for item in items {
+        if f.is_test_code(item.line) {
+            continue; // Already rooted via the test-region scan.
+        }
+        if item.is_test_marked() {
+            // `#[test]`/`#[cfg(test)]` outside a detected region: its
+            // contents are roots, the item itself is not API.
+            add_range_refs(f, item.range, live);
+            continue;
+        }
+        match item.kind {
+            ItemKind::Use => {
+                // rustc's unused_imports keeps `use` honest, so every
+                // committed import is a real reference.
+                for r in &item.use_refs {
+                    live.insert(r.clone());
+                }
+            }
+            ItemKind::Mod => {
+                if item.vis == Visibility::Public {
+                    findable.push(dead_item(f, item));
+                }
+                collect_defs(f, &item.children, live, defs, findable);
+            }
+            ItemKind::Impl => {
+                defs.push(DefNode {
+                    name: String::new(),
+                    is_impl: true,
+                    impl_type: item.impl_type.clone(),
+                    refs: range_refs(f, item.range, &excluded_name_idxs(item)),
+                    processed: false,
+                });
+            }
+            ItemKind::Fn
+            | ItemKind::Struct
+            | ItemKind::Enum
+            | ItemKind::Trait
+            | ItemKind::TypeAlias
+            | ItemKind::Const
+            | ItemKind::Static
+            | ItemKind::MacroDef => {
+                if item.vis == Visibility::Public {
+                    findable.push(dead_item(f, item));
+                }
+                defs.push(DefNode {
+                    name: item.name.clone(),
+                    is_impl: false,
+                    impl_type: None,
+                    refs: range_refs(f, item.range, &excluded_name_idxs(item)),
+                    processed: false,
+                });
+            }
+            ItemKind::Variant | ItemKind::ExternCrate => {}
+        }
+    }
+}
+
+fn dead_item(f: &SourceFile, item: &Item) -> DeadItem {
+    DeadItem {
+        key: format!("{}::{}", f.rel, item.name),
+        rel: f.rel.clone(),
+        name: item.name.clone(),
+        line: item.line,
+        kind: item.kind,
+    }
+}
+
+/// Token indices that are definition sites, not references: the item's
+/// own name and its variants' names.
+fn excluded_name_idxs(item: &Item) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    out.extend(item.name_idx);
+    for c in &item.children {
+        if c.kind == ItemKind::Variant {
+            out.extend(c.name_idx);
+        }
+    }
+    out
+}
+
+/// Identifier references inside a token range, minus definition sites.
+fn range_refs(f: &SourceFile, range: (usize, usize), excluded: &BTreeSet<usize>) -> Vec<String> {
+    let mut refs = Vec::new();
+    for i in range.0..range.1.min(f.tokens.len()) {
+        let t = &f.tokens[i];
+        if t.kind == TokenKind::Ident && !excluded.contains(&i) {
+            refs.push(t.text.clone());
+        }
+    }
+    refs
+}
+
+fn add_range_refs(f: &SourceFile, range: (usize, usize), live: &mut BTreeSet<String>) {
+    for i in range.0..range.1.min(f.tokens.len()) {
+        let t = &f.tokens[i];
+        if t.kind == TokenKind::Ident {
+            live.insert(t.text.clone());
+        }
+    }
+}
+
+/// Identifiers inside fenced code blocks of doc comments — doctests
+/// exercise API without appearing in any `.rs` root file.
+fn doctest_refs(f: &SourceFile, live: &mut BTreeSet<String>) {
+    let mut in_fence = false;
+    for c in &f.comments {
+        let Some(body) = doc_comment_body(&c.text) else {
+            in_fence = false;
+            continue;
+        };
+        if body.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            for t in lex(body).tokens {
+                if t.kind == TokenKind::Ident {
+                    live.insert(t.text);
+                }
+            }
+        }
+    }
+}
+
+/// `///…` lexes as a comment whose text starts with `/`; `//!…` with
+/// `!`. Anything else is a plain comment, not documentation.
+fn doc_comment_body(text: &str) -> Option<&str> {
+    text.strip_prefix('/').or_else(|| text.strip_prefix('!'))
+}
+
+/// The dead-pub rule: every unreachable `pub` item needs a
+/// reason-annotated entry in `zen2-lint.deadpub`, stale entries must be
+/// removed, and TODO reasons don't count. Not inline-suppressible —
+/// like the panic ratchet, the baseline file is the single ledger.
+pub fn dead_pub(files: &[SourceFile], baseline: &Baseline) -> Vec<Finding> {
+    let dead = dead_pub_items(files);
+    let dead_keys: BTreeMap<&str, &DeadItem> = dead.iter().map(|d| (d.key.as_str(), d)).collect();
+    let mut out = Vec::new();
+    for d in &dead {
+        match baseline.entries.get(&d.key) {
+            None => out.push(Finding {
+                rule: DEAD_PUB,
+                rel: d.rel.clone(),
+                line: d.line,
+                message: format!(
+                    "pub {} `{}` is not reachable from any bin/test/bench/doctest root — delete it, narrow it to pub(crate), or add a justified entry via `cargo run -p zen2-lint -- baseline`",
+                    d.kind.describe(),
+                    d.name
+                ),
+            }),
+            Some(reason) if reason.trim().is_empty() || reason.trim_start().starts_with("TODO") => {
+                out.push(Finding {
+                    rule: DEAD_PUB,
+                    rel: d.rel.clone(),
+                    line: d.line,
+                    message: format!(
+                        "unexplained {DEADPUB_FILE} entry for `{}`: every kept-but-unreachable pub item needs a `# reason`",
+                        d.key
+                    ),
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    for key in baseline.entries.keys() {
+        if !dead_keys.contains_key(key.as_str()) {
+            out.push(Finding {
+                rule: DEAD_PUB,
+                rel: DEADPUB_FILE.to_string(),
+                line: 1,
+                message: format!(
+                    "stale entry `{key}`: the item is reachable again (or gone) — remove the entry, or regenerate via `cargo run -p zen2-lint -- baseline`"
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,780 @@
+//! The item layer: parses a lexed token stream into an item tree.
+//!
+//! PR 6's rules saw only tokens; the v2 semantic rules (seed
+//! discipline, float-order, snapshot-schema, dead-pub reachability)
+//! need to know *where* a token sits — which `fn` with which
+//! parameters, which `impl` of which trait for which type, which
+//! `mod`, with what visibility. This module recovers exactly that
+//! structure and nothing more:
+//!
+//! - items: `mod`, `fn` (with parameter names), `struct`, `enum` (with
+//!   variants), `trait`, `type`, `const`/`static`, `impl` (trait +
+//!   self-type names), `use` (with referenced/aliased names),
+//!   `macro_rules!`;
+//! - attributes (flattened text, so `#[test]` and `#[cfg(test)]` are
+//!   recognizable) and `pub`/`pub(…)` visibility;
+//! - nesting: `mod`/`trait`/`impl` bodies are parsed recursively; `fn`
+//!   bodies are left opaque (expressions — including `match` arms —
+//!   are scanned as token ranges by the rules, not re-parsed).
+//!
+//! The parser is deliberately forgiving: it never panics on input it
+//! does not understand, it just skips a token and resynchronizes. A
+//! mis-parse can only make an item invisible, and every rule built on
+//! this layer fails *toward* silence plus a committed baseline — an
+//! invisible item can be caught in triage, a panic would take down the
+//! whole gate. Known limits are documented in `docs/LINTS.md`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// How visible an item is outside its module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// No `pub` at all.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — widened, but never
+    /// cross-crate API.
+    Restricted,
+    /// Bare `pub`.
+    Public,
+}
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Mod,
+    Fn,
+    Struct,
+    Enum,
+    /// One variant of an enum (children of [`ItemKind::Enum`]).
+    Variant,
+    Trait,
+    TypeAlias,
+    Const,
+    Static,
+    Impl,
+    Use,
+    MacroDef,
+    ExternCrate,
+}
+
+impl ItemKind {
+    /// Human-readable kind name for findings.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ItemKind::Mod => "mod",
+            ItemKind::Fn => "fn",
+            ItemKind::Struct => "struct",
+            ItemKind::Enum => "enum",
+            ItemKind::Variant => "variant",
+            ItemKind::Trait => "trait",
+            ItemKind::TypeAlias => "type alias",
+            ItemKind::Const => "const",
+            ItemKind::Static => "static",
+            ItemKind::Impl => "impl",
+            ItemKind::Use => "use",
+            ItemKind::MacroDef => "macro",
+            ItemKind::ExternCrate => "extern crate",
+        }
+    }
+}
+
+/// One parsed item. Token indices refer to the file's token vector.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// The declared name; empty for `impl` and `use` items.
+    pub name: String,
+    /// Token index of the name token (the definition site), if any.
+    pub name_idx: Option<usize>,
+    pub vis: Visibility,
+    /// 1-based line the item starts on (its first attribute or keyword).
+    pub line: usize,
+    /// Token range `[start, end)` covering the whole item, attributes
+    /// included.
+    pub range: (usize, usize),
+    /// Flattened attribute texts, e.g. `"test"`, `"cfg(test)"`,
+    /// `"derive(Debug,Clone)"`.
+    pub attrs: Vec<String>,
+    /// `fn` only: parameter names in order (`self` excluded).
+    pub params: Vec<String>,
+    /// `impl` only: last path segment of the implemented trait, if this
+    /// is a trait impl (`impl Trait for Type`).
+    pub impl_trait: Option<String>,
+    /// `impl` only: last path segment of the self type.
+    pub impl_type: Option<String>,
+    /// Nested items: `mod`/`trait`/`impl` members, enum variants.
+    pub children: Vec<Item>,
+    /// `use` only: path segment names the import references.
+    pub use_refs: Vec<String>,
+}
+
+impl Item {
+    /// True when the item's attributes gate it to test builds or mark
+    /// it as a test/bench entry point.
+    pub fn is_test_marked(&self) -> bool {
+        self.attrs
+            .iter()
+            .any(|a| a == "test" || a == "bench" || (a.starts_with("cfg(") && a.contains("test")))
+    }
+
+    /// Depth-first traversal over this item and all descendants.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a Item)) {
+        visit(self);
+        for child in &self.children {
+            child.walk(visit);
+        }
+    }
+}
+
+/// Parses the item tree of a whole file's token stream.
+pub fn parse_items(toks: &[Token]) -> Vec<Item> {
+    Parser { toks }.items(0, toks.len())
+}
+
+/// Depth-first traversal over a forest of items.
+pub fn walk_items<'a>(items: &'a [Item], visit: &mut impl FnMut(&'a Item)) {
+    for item in items {
+        item.walk(visit);
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+}
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text.as_str())
+    }
+
+    fn is_ident(&self, i: usize, text: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident && t.text == text)
+    }
+
+    /// Index just past the bracket opened at `open` (or `hi` if
+    /// unbalanced — swallow to the end, like the lexer does).
+    fn after_matching(&self, open: usize, hi: usize, o: &str, c: &str) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < hi {
+            let t = self.text(i);
+            if t == o {
+                depth += 1;
+            } else if t == c {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    /// Index just past a generics list starting at `i` (`<…>`, `>`
+    /// tokens that are part of `->` arrows don't close it); `i` itself
+    /// when there is none.
+    fn skip_generics(&self, i: usize, hi: usize) -> usize {
+        if self.text(i) != "<" {
+            return i;
+        }
+        let mut depth = 0i32;
+        let mut k = i;
+        while k < hi {
+            match self.text(k) {
+                "<" => depth += 1,
+                ">" if k > 0 && self.text(k - 1) != "-" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        hi
+    }
+
+    /// Parses items in `[lo, hi)`.
+    fn items(&self, lo: usize, hi: usize) -> Vec<Item> {
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            match self.item(i, hi) {
+                Some((item, next)) => {
+                    debug_assert!(next > i);
+                    out.push(item);
+                    i = next;
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
+    /// Tries to parse one item starting at `i`; returns it plus the
+    /// index just past it.
+    fn item(&self, start: usize, hi: usize) -> Option<(Item, usize)> {
+        let mut i = start;
+        // Attributes. Inner attributes (`#![…]`) are file/module
+        // metadata, not item heads — skip them without starting an item.
+        let mut attrs = Vec::new();
+        while self.text(i) == "#" && i + 1 < hi {
+            if self.text(i + 1) == "!" {
+                return None;
+            }
+            if self.text(i + 1) != "[" {
+                return None;
+            }
+            let close = self.after_matching(i + 1, hi, "[", "]");
+            let body = (i + 2).min(close.saturating_sub(1));
+            let flat: String =
+                self.toks[body..close.saturating_sub(1)].iter().map(|t| t.text.as_str()).collect();
+            attrs.push(flat);
+            i = close;
+        }
+        // Visibility.
+        let mut vis = Visibility::Private;
+        if self.is_ident(i, "pub") {
+            vis = Visibility::Public;
+            i += 1;
+            if self.text(i) == "(" {
+                vis = Visibility::Restricted;
+                i = self.after_matching(i, hi, "(", ")");
+            }
+        }
+        // Qualifiers that may precede the defining keyword.
+        loop {
+            if self.is_ident(i, "unsafe")
+                || self.is_ident(i, "async")
+                || self.is_ident(i, "default")
+            {
+                i += 1;
+            } else if self.is_ident(i, "extern")
+                && self.toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Str)
+                && self.toks.get(i + 2).is_some_and(|t| t.text == "fn")
+            {
+                // `extern "C" fn …`
+                i += 2;
+            } else {
+                break;
+            }
+        }
+
+        let kw = self.toks.get(i)?;
+        if kw.kind != TokenKind::Ident {
+            return None;
+        }
+        let line = self.toks[start].line;
+        let mut item = Item {
+            kind: ItemKind::Fn,
+            name: String::new(),
+            name_idx: None,
+            vis,
+            line,
+            range: (start, i + 1),
+            attrs,
+            params: Vec::new(),
+            impl_trait: None,
+            impl_type: None,
+            children: Vec::new(),
+            use_refs: Vec::new(),
+        };
+        let end = match kw.text.as_str() {
+            "mod" => self.finish_mod(&mut item, i + 1, hi)?,
+            "fn" => self.finish_fn(&mut item, i + 1, hi)?,
+            "struct" => self.finish_struct(&mut item, i + 1, hi)?,
+            "enum" => self.finish_enum(&mut item, i + 1, hi)?,
+            "trait" => self.finish_trait(&mut item, i + 1, hi)?,
+            "type" => self.finish_named_to_semi(&mut item, ItemKind::TypeAlias, i + 1, hi)?,
+            "const" | "static" => {
+                // `const fn` belongs to the fn arm; `const _` pins are
+                // named `_`.
+                if self.text(i + 1) == "fn" {
+                    self.finish_fn(&mut item, i + 2, hi)?
+                } else {
+                    let kind = if kw.text == "const" { ItemKind::Const } else { ItemKind::Static };
+                    let at = if self.is_ident(i + 1, "mut") { i + 2 } else { i + 1 };
+                    self.finish_named_to_semi(&mut item, kind, at, hi)?
+                }
+            }
+            "impl" => self.finish_impl(&mut item, i + 1, hi)?,
+            "use" => {
+                item.kind = ItemKind::Use;
+                let end = self.to_semi(i + 1, hi);
+                item.use_refs = use_refs(&self.toks[i + 1..end]);
+                end
+            }
+            "macro_rules" => {
+                if self.text(i + 1) != "!" {
+                    return None;
+                }
+                item.kind = ItemKind::MacroDef;
+                let name_tok = self.toks.get(i + 2)?;
+                item.name = name_tok.text.clone();
+                item.name_idx = Some(i + 2);
+                let mut k = i + 3;
+                while k < hi && !matches!(self.text(k), "{" | "(" | "[") {
+                    k += 1;
+                }
+                match self.text(k) {
+                    "{" => self.after_matching(k, hi, "{", "}"),
+                    "(" => self.to_semi(self.after_matching(k, hi, "(", ")"), hi),
+                    "[" => self.to_semi(self.after_matching(k, hi, "[", "]"), hi),
+                    _ => hi,
+                }
+            }
+            "extern" => {
+                if self.is_ident(i + 1, "crate") {
+                    item.kind = ItemKind::ExternCrate;
+                    let name_tok = self.toks.get(i + 2)?;
+                    item.name = name_tok.text.clone();
+                    item.name_idx = Some(i + 2);
+                    self.to_semi(i + 2, hi)
+                } else {
+                    // `extern "C" { … }` foreign block: skip opaquely.
+                    let mut k = i + 1;
+                    while k < hi && self.text(k) != "{" {
+                        k += 1;
+                    }
+                    item.kind = ItemKind::Mod;
+                    item.name = "extern".to_string();
+                    self.after_matching(k, hi, "{", "}")
+                }
+            }
+            _ => return None,
+        };
+        item.range = (start, end.max(i + 1));
+        Some((item, end.max(i + 1)))
+    }
+
+    /// Index just past the next `;` at bracket depth zero.
+    fn to_semi(&self, from: usize, hi: usize) -> usize {
+        let mut depth = 0i32;
+        let mut i = from;
+        while i < hi {
+            match self.text(i) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        hi
+    }
+
+    fn take_name(&self, item: &mut Item, at: usize) -> Option<usize> {
+        let tok = self.toks.get(at)?;
+        if tok.kind != TokenKind::Ident && tok.text != "_" {
+            return None;
+        }
+        item.name = tok.text.clone();
+        item.name_idx = Some(at);
+        Some(at + 1)
+    }
+
+    fn finish_mod(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Mod;
+        let mut i = self.take_name(item, at)?;
+        match self.text(i) {
+            ";" => Some(i + 1),
+            "{" => {
+                let end = self.after_matching(i, hi, "{", "}");
+                item.children = self.items(i + 1, end.saturating_sub(1));
+                Some(end)
+            }
+            _ => {
+                // `mod name` followed by something unexpected; treat as
+                // body-less so the parser resynchronizes.
+                i += 1;
+                Some(i)
+            }
+        }
+    }
+
+    fn finish_fn(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Fn;
+        let mut i = self.take_name(item, at)?;
+        i = self.skip_generics(i, hi);
+        if self.text(i) == "(" {
+            let close = self.after_matching(i, hi, "(", ")");
+            item.params = param_names(&self.toks[i + 1..close.saturating_sub(1)]);
+            i = close;
+        }
+        // Return type / where clause, then a `{ body }` or a bare `;`
+        // (trait method signature).
+        while i < hi {
+            match self.text(i) {
+                ";" => return Some(i + 1),
+                "{" => return Some(self.after_matching(i, hi, "{", "}")),
+                "<" => i = self.skip_generics(i, hi),
+                _ => i += 1,
+            }
+        }
+        Some(hi)
+    }
+
+    fn finish_struct(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Struct;
+        let mut i = self.take_name(item, at)?;
+        i = self.skip_generics(i, hi);
+        loop {
+            match self.text(i) {
+                ";" => return Some(i + 1),
+                "(" => {
+                    // Tuple struct: fields, maybe a where clause, `;`.
+                    i = self.after_matching(i, hi, "(", ")");
+                }
+                "{" => return Some(self.after_matching(i, hi, "{", "}")),
+                "<" => i = self.skip_generics(i, hi),
+                _ if i < hi => i += 1,
+                _ => return Some(hi),
+            }
+        }
+    }
+
+    fn finish_enum(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Enum;
+        let mut i = self.take_name(item, at)?;
+        i = self.skip_generics(i, hi);
+        while i < hi && self.text(i) != "{" {
+            i += 1;
+        }
+        let end = self.after_matching(i, hi, "{", "}");
+        // Variants: idents at brace depth 1, at the start or right
+        // after a top-level comma, attributes skipped.
+        let mut k = i + 1;
+        let body_end = end.saturating_sub(1);
+        let mut expecting = true;
+        let mut depth = 0i32;
+        while k < body_end {
+            match self.text(k) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => depth -= 1,
+                "," if depth == 0 => expecting = true,
+                "#" if depth == 0 && self.text(k + 1) == "[" => {
+                    k = self.after_matching(k + 1, body_end, "[", "]");
+                    continue;
+                }
+                _ => {
+                    if expecting && depth == 0 && self.toks[k].kind == TokenKind::Ident {
+                        item.children.push(Item {
+                            kind: ItemKind::Variant,
+                            name: self.toks[k].text.clone(),
+                            name_idx: Some(k),
+                            vis: item.vis,
+                            line: self.toks[k].line,
+                            range: (k, k + 1),
+                            attrs: Vec::new(),
+                            params: Vec::new(),
+                            impl_trait: None,
+                            impl_type: None,
+                            children: Vec::new(),
+                            use_refs: Vec::new(),
+                        });
+                        expecting = false;
+                    }
+                }
+            }
+            k += 1;
+        }
+        Some(end)
+    }
+
+    fn finish_trait(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Trait;
+        let mut i = self.take_name(item, at)?;
+        while i < hi && self.text(i) != "{" && self.text(i) != ";" {
+            if self.text(i) == "<" {
+                i = self.skip_generics(i, hi);
+            } else {
+                i += 1;
+            }
+        }
+        if self.text(i) == ";" {
+            return Some(i + 1);
+        }
+        let end = self.after_matching(i, hi, "{", "}");
+        item.children = self.items(i + 1, end.saturating_sub(1));
+        Some(end)
+    }
+
+    fn finish_impl(&self, item: &mut Item, at: usize, hi: usize) -> Option<usize> {
+        item.kind = ItemKind::Impl;
+        let mut i = self.skip_generics(at, hi);
+        // First path (trait in `impl Trait for Type`, else the type).
+        let (first, after_first) = self.path_last_segment(i, hi);
+        i = after_first;
+        if self.is_ident(i, "for") {
+            let (second, after_second) = self.path_last_segment(i + 1, hi);
+            item.impl_trait = first;
+            item.impl_type = second;
+            i = after_second;
+        } else {
+            item.impl_type = first;
+        }
+        while i < hi && self.text(i) != "{" {
+            if self.text(i) == "<" {
+                i = self.skip_generics(i, hi);
+            } else {
+                i += 1;
+            }
+        }
+        let end = self.after_matching(i, hi, "{", "}");
+        item.children = self.items(i + 1, end.saturating_sub(1));
+        Some(end)
+    }
+
+    /// Reads a type path (`a::b::C<…>`, `!`, `&mut T`, `[T; N]`,
+    /// `(T, U)`) and returns its last ident segment plus the index just
+    /// past the path.
+    fn path_last_segment(&self, from: usize, hi: usize) -> (Option<String>, usize) {
+        let mut last = None;
+        let mut i = from;
+        while i < hi {
+            let t = &self.toks[i];
+            match t.text.as_str() {
+                "::" | "&" | "*" | "!" => i += 1,
+                "<" => i = self.skip_generics(i, hi),
+                "(" => i = self.after_matching(i, hi, "(", ")"),
+                "[" => i = self.after_matching(i, hi, "[", "]"),
+                "for" | "where" | "{" => break,
+                _ if t.kind == TokenKind::Ident => {
+                    if t.text == "dyn" || t.text == "mut" {
+                        i += 1;
+                        continue;
+                    }
+                    last = Some(t.text.clone());
+                    i += 1;
+                    // A path continues only through `::` or generics.
+                    if !matches!(self.text(i), "::" | "<") {
+                        break;
+                    }
+                }
+                _ if t.kind == TokenKind::Lifetime => i += 1,
+                _ => break,
+            }
+        }
+        (last, i)
+    }
+
+    fn finish_named_to_semi(
+        &self,
+        item: &mut Item,
+        kind: ItemKind,
+        at: usize,
+        hi: usize,
+    ) -> Option<usize> {
+        item.kind = kind;
+        let i = self.take_name(item, at)?;
+        Some(self.to_semi(i, hi))
+    }
+}
+
+/// Parameter names from the token slice between a `fn`'s parentheses:
+/// for each top-level comma-separated segment, the identifiers before
+/// the first top-level `:` (handles `x: T`, `mut x: T`, and simple
+/// patterns like `(a, b): (T, U)`); `self` receivers are skipped.
+fn param_names(toks: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut in_pattern = true;
+    for (k, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => depth += 1,
+            ">" if k > 0 && toks[k - 1].text != "-" => depth -= 1,
+            "," if depth == 0 => in_pattern = true,
+            ":" if depth == 0 => in_pattern = false,
+            _ => {
+                if in_pattern
+                    && t.kind == TokenKind::Ident
+                    && !matches!(t.text.as_str(), "self" | "mut" | "ref")
+                {
+                    names.push(t.text.clone());
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Names a `use` item references: every path segment except the glue
+/// keywords. `as` aliases count as references to the original name; the
+/// alias itself is a local definition, not a reference.
+fn use_refs(toks: &[Token]) -> Vec<String> {
+    let mut refs = Vec::new();
+    let mut skip_next = false;
+    for t in toks {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match t.text.as_str() {
+            "as" => skip_next = true,
+            "self" | "super" | "crate" => {}
+            _ => refs.push(t.text.clone()),
+        }
+    }
+    refs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).tokens)
+    }
+
+    fn find<'a>(items: &'a [Item], name: &str) -> &'a Item {
+        let mut found = None;
+        walk_items(items, &mut |item| {
+            if item.name == name && found.is_none() {
+                found = Some(item);
+            }
+        });
+        found.unwrap_or_else(|| panic!("no item named {name}"))
+    }
+
+    #[test]
+    fn parses_fns_with_params_and_visibility() {
+        let items = parse(
+            "pub fn run(seed: u64, mut cfg: Config) -> Result<u64, E> { seed + 1 }\n\
+             fn helper(&self, (a, b): (u64, u64)) {}\n\
+             pub(crate) fn scoped() {}\n",
+        );
+        assert_eq!(items.len(), 3);
+        let run = find(&items, "run");
+        assert_eq!(run.kind, ItemKind::Fn);
+        assert_eq!(run.vis, Visibility::Public);
+        assert_eq!(run.params, ["seed", "cfg"]);
+        let helper = find(&items, "helper");
+        assert_eq!(helper.vis, Visibility::Private);
+        assert_eq!(helper.params, ["a", "b"]);
+        assert_eq!(find(&items, "scoped").vis, Visibility::Restricted);
+    }
+
+    #[test]
+    fn parses_impl_headers() {
+        let items = parse(
+            "impl<A: Snapshot> Snapshot for GroupedStats<A> { fn snapshot(&self) {} }\n\
+             impl Checkpoint { pub fn save(&self) {} }\n\
+             impl crate::stats::Snapshot for Option<S> {}\n",
+        );
+        assert_eq!(items[0].impl_trait.as_deref(), Some("Snapshot"));
+        assert_eq!(items[0].impl_type.as_deref(), Some("GroupedStats"));
+        assert_eq!(items[0].children.len(), 1);
+        assert_eq!(items[1].impl_trait, None);
+        assert_eq!(items[1].impl_type.as_deref(), Some("Checkpoint"));
+        assert_eq!(items[1].children[0].vis, Visibility::Public);
+        assert_eq!(items[2].impl_trait.as_deref(), Some("Snapshot"));
+        assert_eq!(items[2].impl_type.as_deref(), Some("Option"));
+    }
+
+    #[test]
+    fn parses_mods_enums_and_variants() {
+        let items = parse(
+            "pub mod outer {\n\
+                 pub enum Measurement { Watts(f64), Events { n: u64 }, None }\n\
+                 mod inner;\n\
+             }\n",
+        );
+        let outer = find(&items, "outer");
+        assert_eq!(outer.kind, ItemKind::Mod);
+        let measurement = find(&items, "Measurement");
+        let variants: Vec<&str> = measurement.children.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(variants, ["Watts", "Events", "None"]);
+        assert_eq!(find(&items, "inner").kind, ItemKind::Mod);
+    }
+
+    #[test]
+    fn attributes_mark_test_items() {
+        let items = parse(
+            "#[test]\nfn t() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() {} }\n\
+             #[derive(Debug, Clone)]\npub struct S;\n",
+        );
+        assert!(find(&items, "t").is_test_marked());
+        assert!(find(&items, "tests").is_test_marked());
+        assert!(!find(&items, "S").is_test_marked());
+        assert_eq!(find(&items, "S").attrs, ["derive(Debug,Clone)"]);
+    }
+
+    #[test]
+    fn use_items_record_referenced_segments() {
+        let items =
+            parse("use zen2_sim::{stats::Welford, Session as S};\npub use crate::probe::Probe;\n");
+        assert_eq!(items[0].kind, ItemKind::Use);
+        assert_eq!(items[0].use_refs, ["zen2_sim", "stats", "Welford", "Session"]);
+        assert_eq!(items[1].use_refs, ["probe", "Probe"]);
+    }
+
+    #[test]
+    fn consts_statics_types_and_macros() {
+        let items = parse(
+            "pub const MAGIC: &str = \"zen2\";\n\
+             static mut COUNTER: u64 = 0;\n\
+             pub type Ns = u128;\n\
+             macro_rules! push { ($x:expr) => {}; }\n",
+        );
+        assert_eq!(find(&items, "MAGIC").kind, ItemKind::Const);
+        assert_eq!(find(&items, "COUNTER").kind, ItemKind::Static);
+        assert_eq!(find(&items, "Ns").kind, ItemKind::TypeAlias);
+        assert_eq!(find(&items, "push").kind, ItemKind::MacroDef);
+    }
+
+    #[test]
+    fn fn_bodies_are_opaque_and_do_not_leak_items() {
+        // Nested bindings/closures inside a body must not split the fn.
+        let items = parse(
+            "fn outer() -> u64 {\n\
+                 let f = |x: u64| x + 1;\n\
+                 struct_like_call(1);\n\
+                 match x { A::B => 1, _ => 2 }\n\
+             }\n\
+             fn after() {}\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].name, "outer");
+        assert_eq!(items[1].name, "after");
+    }
+
+    #[test]
+    fn trait_items_and_signatures() {
+        let items = parse(
+            "pub trait Snapshot: Sized {\n\
+                 fn snapshot(&self) -> Json;\n\
+                 fn to_json_text(&self) -> String { self.snapshot().render() }\n\
+             }\n",
+        );
+        let tr = find(&items, "Snapshot");
+        assert_eq!(tr.kind, ItemKind::Trait);
+        let names: Vec<&str> = tr.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["snapshot", "to_json_text"]);
+    }
+
+    #[test]
+    fn malformed_input_never_panics() {
+        for src in ["impl", "fn", "pub", "mod {", "enum E {", "use ;", "# [", "fn f(unclosed {"] {
+            let _ = parse(src);
+        }
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let items = parse(
+            "pub fn stream<F: FnMut(usize) -> u64, G>(sink: F, g: G) where G: Fn() -> bool { }\n\
+             fn next() {}\n",
+        );
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].params, ["sink", "g"]);
+    }
+}

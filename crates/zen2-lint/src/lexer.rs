@@ -442,7 +442,7 @@ fn cfg_test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
 }
 
 /// Index of the token closing the bracket opened at `open_idx`.
-fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+pub fn matching(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0usize;
     for (k, t) in tokens.iter().enumerate().skip(open_idx) {
         if t.text == open {

@@ -23,9 +23,14 @@
 //! findings, and suppressions that stop matching anything are findings
 //! too — annotations can never silently rot.
 
+pub mod deadpub;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod ratchet;
 pub mod rules;
+pub mod schema;
+pub mod semantic;
 pub mod workspace;
 
 use std::fmt;
@@ -68,6 +73,8 @@ pub struct SourceFile {
     pub rel: String,
     pub tokens: Vec<Token>,
     pub comments: Vec<Comment>,
+    /// The parsed item tree ([`items`]) — what the semantic rules walk.
+    pub items: Vec<items::Item>,
     test_ranges: Vec<(usize, usize)>,
     pub suppressions: Vec<Suppression>,
     /// Malformed-annotation findings discovered while parsing.
@@ -79,10 +86,12 @@ impl SourceFile {
     pub fn parse(rel: &str, text: &str) -> SourceFile {
         let lexed = lex(text);
         let test_ranges = test_line_ranges(&lexed.tokens);
+        let items = items::parse_items(&lexed.tokens);
         let mut f = SourceFile {
             rel: rel.to_string(),
             tokens: lexed.tokens,
             comments: lexed.comments,
+            items,
             test_ranges,
             suppressions: Vec::new(),
             suppression_findings: Vec::new(),
@@ -202,15 +211,80 @@ impl Report {
         ));
         out
     }
+
+    /// Findings as a JSON array (`rule`/`file`/`line`/`reason` per
+    /// entry) for CI annotations and artifacts. Hand-rolled like the
+    /// sim's `snapshot.rs` writer — the crate stays dependency-free.
+    pub fn render_json(&self) -> String {
+        if self.findings.is_empty() {
+            return "[]\n".to_string();
+        }
+        let mut out = String::from("[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(f.rule),
+                json_str(&f.rel),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
 }
 
-/// Runs the whole rule set over `files` against `baseline`.
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Everything `check_files` needs beyond the sources: the committed
+/// baselines. The two workspace-scoped passes are optional so fixture
+/// tests can run single files without the whole tree's context —
+/// `None` disables the pass entirely.
+pub struct CheckContext {
+    pub ratchet: ratchet::Baseline,
+    /// Dead-pub baseline; `None` disables the reachability pass.
+    pub deadpub: Option<deadpub::Baseline>,
+    /// Snapshot-schema lock: `None` disables the pass, `Some(None)`
+    /// runs it against a missing lock file (itself a finding).
+    pub schema_lock: Option<Option<schema::Lock>>,
+}
+
+impl CheckContext {
+    /// Per-file rules plus the panic ratchet only — what fixture tests
+    /// and single-file checks use.
+    pub fn local(ratchet: ratchet::Baseline) -> CheckContext {
+        CheckContext { ratchet, deadpub: None, schema_lock: None }
+    }
+}
+
+/// Runs the whole rule set over `files` against the baselines in `ctx`.
 ///
 /// Suppressions apply to the line they cover, for the rules they name;
-/// `panic-ratchet` findings are exempt (the ratchet file is their
-/// ledger, an inline allow would just be a second, vaguer one). Unused
-/// suppressions become findings so annotations track the code.
-pub fn check_files(files: &[SourceFile], baseline: &ratchet::Baseline) -> Report {
+/// `panic-ratchet`, `dead-pub`, and `snapshot-schema` findings are
+/// exempt (each has its own committed ledger — an inline allow would
+/// just be a second, vaguer one). Unused suppressions become findings
+/// so annotations track the code.
+pub fn check_files(files: &[SourceFile], ctx: &CheckContext) -> Report {
     let mut findings = Vec::new();
     for f in files {
         findings.extend(rules::lint_file(f));
@@ -232,7 +306,13 @@ pub fn check_files(files: &[SourceFile], baseline: &ratchet::Baseline) -> Report
         true
     });
 
-    findings.extend(rules::panic_ratchet(files, baseline));
+    findings.extend(rules::panic_ratchet(files, &ctx.ratchet));
+    if let Some(dp) = &ctx.deadpub {
+        findings.extend(graph::dead_pub(files, dp));
+    }
+    if let Some(lock) = &ctx.schema_lock {
+        findings.extend(schema::check(files, lock.as_ref()));
+    }
     for (fi, f) in files.iter().enumerate() {
         findings.extend(f.suppression_findings.iter().cloned());
         for (si, s) in f.suppressions.iter().enumerate() {
@@ -261,12 +341,20 @@ pub fn check_files(files: &[SourceFile], baseline: &ratchet::Baseline) -> Report
 /// the CLI and the workspace meta-test.
 pub fn run_check(root: &Path) -> Result<Report, String> {
     let files = load_tree(root)?;
-    let ratchet_path = root.join(workspace::RATCHET_FILE);
-    let baseline = match fs::read_to_string(&ratchet_path) {
+    let ratchet = match fs::read_to_string(root.join(workspace::RATCHET_FILE)) {
         Ok(text) => ratchet::parse(&text)?,
         Err(_) => ratchet::Baseline::empty(),
     };
-    Ok(check_files(&files, &baseline))
+    let deadpub = match fs::read_to_string(root.join(workspace::DEADPUB_FILE)) {
+        Ok(text) => deadpub::parse(&text)?,
+        Err(_) => deadpub::Baseline::empty(),
+    };
+    let schema_lock = match fs::read_to_string(root.join(workspace::SCHEMA_LOCK_FILE)) {
+        Ok(text) => Some(schema::parse_lock(&text)?),
+        Err(_) => None,
+    };
+    let ctx = CheckContext { ratchet, deadpub: Some(deadpub), schema_lock: Some(schema_lock) };
+    Ok(check_files(&files, &ctx))
 }
 
 /// Lexes every lintable file under `root`.

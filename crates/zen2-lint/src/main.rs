@@ -1,30 +1,46 @@
 //! CLI: `zen2-lint check` gates CI; `zen2-lint baseline` regenerates
-//! the panic-ratchet file after deliberate changes.
+//! the panic-ratchet and dead-pub baselines after deliberate changes;
+//! `zen2-lint schema` maintains the snapshot wire-format lock.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use zen2_lint::{ratchet, rules, workspace};
+use zen2_lint::{deadpub, graph, ratchet, rules, schema, workspace};
 
-const USAGE: &str = "usage: zen2-lint <check|baseline> [--root <workspace-dir>]
+const USAGE: &str = "usage: zen2-lint <check|baseline|schema> [--root <workspace-dir>]
 
-  check     run all rules over the workspace; exit 1 on any finding
-  baseline  rewrite zen2-lint.ratchet from current unwrap()/expect()
-            counts, preserving existing reasons";
+  check [--format json]
+            run all rules over the workspace; exit 1 on any finding.
+            --format json prints findings as a JSON array instead of text
+  baseline  rewrite zen2-lint.ratchet (unwrap()/expect() counts) and
+            zen2-lint.deadpub (unreachable pub items), preserving reasons
+  schema [--check]
+            rewrite SNAPSHOT_SCHEMA.lock from the tree's Snapshot impls;
+            refuses if the schema changed without a checkpoint version
+            bump. --check verifies the committed lock is current instead";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root_arg = None;
+    let mut json = false;
+    let mut check_only = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "check" | "baseline" if cmd.is_none() => cmd = Some(a.clone()),
+            "check" | "baseline" | "schema" if cmd.is_none() => cmd = Some(a.clone()),
             "--root" => match it.next() {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage_error("--root needs a path"),
             },
+            "--format" => match (cmd.as_deref(), it.next().map(String::as_str)) {
+                (Some("check"), Some("json")) => json = true,
+                (Some("check"), Some("text")) => json = false,
+                (Some("check"), _) => return usage_error("--format takes `json` or `text`"),
+                _ => return usage_error("--format only applies to `check`"),
+            },
+            "--check" if cmd.as_deref() == Some("schema") => check_only = true,
             other => return usage_error(&format!("unrecognized argument `{other}`")),
         }
     }
@@ -42,7 +58,8 @@ fn main() -> ExitCode {
     };
 
     let result = match cmd.as_str() {
-        "check" => check(&root),
+        "check" => check(&root, json),
+        "schema" => schema_cmd(&root, check_only),
         _ => baseline(&root),
     };
     match result {
@@ -59,27 +76,99 @@ fn usage_error(why: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-fn check(root: &std::path::Path) -> Result<ExitCode, String> {
+fn check(root: &Path, json: bool) -> Result<ExitCode, String> {
     let report = zen2_lint::run_check(root)?;
-    print!("{}", report.render());
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     Ok(if report.is_clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
 }
 
-fn baseline(root: &std::path::Path) -> Result<ExitCode, String> {
+fn baseline(root: &Path) -> Result<ExitCode, String> {
     let files = zen2_lint::load_tree(root)?;
+
     let counts = rules::panic_counts(&files);
-    let path = root.join(workspace::RATCHET_FILE);
-    let prior = match fs::read_to_string(&path) {
+    let ratchet_path = root.join(workspace::RATCHET_FILE);
+    let prior = match fs::read_to_string(&ratchet_path) {
         Ok(text) => ratchet::parse(&text)?,
         Err(_) => ratchet::Baseline::empty(),
     };
     let rendered = ratchet::render(&counts, &prior);
-    fs::write(&path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    fs::write(&ratchet_path, &rendered)
+        .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
     let todos = rendered.lines().filter(|l| l.contains("# TODO")).count();
     println!(
         "zen2-lint: wrote {} ({} entries, {todos} needing a reason)",
-        path.display(),
+        ratchet_path.display(),
         counts.len()
     );
+
+    let dead: Vec<String> = graph::dead_pub_items(&files).into_iter().map(|d| d.key).collect();
+    let deadpub_path = root.join(workspace::DEADPUB_FILE);
+    let prior_dead = match fs::read_to_string(&deadpub_path) {
+        Ok(text) => deadpub::parse(&text)?,
+        Err(_) => deadpub::Baseline::empty(),
+    };
+    let rendered = deadpub::render(&dead, &prior_dead);
+    fs::write(&deadpub_path, &rendered)
+        .map_err(|e| format!("writing {}: {e}", deadpub_path.display()))?;
+    let todos = rendered.lines().filter(|l| l.contains("# TODO")).count();
+    println!(
+        "zen2-lint: wrote {} ({} entries, {todos} needing a reason)",
+        deadpub_path.display(),
+        dead.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn schema_cmd(root: &Path, check_only: bool) -> Result<ExitCode, String> {
+    let files = zen2_lint::load_tree(root)?;
+    let ex = schema::extract(&files);
+    if ex.format.is_none() {
+        return Err(
+            "cannot locate the checkpoint format version (`const MAGIC: &str = …`)".to_string()
+        );
+    }
+    let path = root.join(workspace::SCHEMA_LOCK_FILE);
+    let prior = match fs::read_to_string(&path) {
+        Ok(text) => Some(schema::parse_lock(&text)?),
+        Err(_) => None,
+    };
+    let rendered = schema::render_lock(&ex, prior.as_ref());
+
+    if check_only {
+        return match fs::read_to_string(&path) {
+            Ok(current) if current == rendered => {
+                println!("zen2-lint: {} is current ({} entries)", path.display(), ex.entries.len());
+                Ok(ExitCode::SUCCESS)
+            }
+            Ok(_) => {
+                eprintln!(
+                    "zen2-lint: {} is out of date — regenerate with `cargo run -p zen2-lint -- schema`",
+                    path.display()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        };
+    }
+
+    if let Some(p) = &prior {
+        let blockers = schema::regeneration_blockers(&ex, p);
+        if !blockers.is_empty() {
+            eprintln!(
+                "zen2-lint: refusing to regenerate {}: the wire schema changed under the same \
+                 checkpoint format version ({}) — bump MAGIC in crates/zen2-sim/src/checkpoint.rs \
+                 first, then rerun",
+                path.display(),
+                blockers.join(", ")
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    fs::write(&path, &rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("zen2-lint: wrote {} ({} entries)", path.display(), ex.entries.len());
     Ok(ExitCode::SUCCESS)
 }

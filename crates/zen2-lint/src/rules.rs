@@ -18,6 +18,10 @@ pub const NO_UNORDERED_ITERATION: &str = "no-unordered-iteration";
 pub const NO_DEBUG_KEYING: &str = "no-debug-keying";
 pub const SNAPSHOT_COVERAGE: &str = "snapshot-coverage";
 pub const PANIC_RATCHET: &str = "panic-ratchet";
+pub const SEED_DISCIPLINE: &str = "seed-discipline";
+pub const FLOAT_ORDER: &str = "float-order";
+pub const SNAPSHOT_SCHEMA: &str = "snapshot-schema";
+pub const DEAD_PUB: &str = "dead-pub";
 /// Engine-level findings about the suppression comments themselves.
 pub const SUPPRESSION: &str = "suppression";
 
@@ -29,6 +33,10 @@ pub const ALL_RULES: &[&str] = &[
     NO_DEBUG_KEYING,
     SNAPSHOT_COVERAGE,
     PANIC_RATCHET,
+    SEED_DISCIPLINE,
+    FLOAT_ORDER,
+    SNAPSHOT_SCHEMA,
+    DEAD_PUB,
     SUPPRESSION,
 ];
 
@@ -43,7 +51,7 @@ const THREAD_HOME: &str = "crates/zen2-sim/src/session.rs";
 /// Crates whose output is (or feeds) published results; unordered
 /// iteration there is a reproducibility hazard even in tests, where it
 /// shows up as flakiness.
-const RESULT_CRATES: &[&str] = &["crates/zen2-sim/", "crates/zen2-experiments/"];
+pub const RESULT_CRATES: &[&str] = &["crates/zen2-sim/", "crates/zen2-experiments/"];
 
 /// Identifiers that mark a `format!("{:?}…")` value as being used for
 /// identity rather than display when they appear earlier in the same
@@ -59,12 +67,14 @@ pub fn lint_file(f: &SourceFile) -> Vec<Finding> {
     no_thread_escape(f, &mut out);
     no_unordered_iteration(f, &mut out);
     no_debug_keying(f, &mut out);
+    crate::semantic::seed_discipline(f, &mut out);
+    crate::semantic::float_order(f, &mut out);
     out
 }
 
 /// True when `tokens[i..]` matches `pat` as code (idents/punctuation),
 /// never inside string or char literal tokens.
-fn seq(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
+pub(crate) fn seq(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
     if i + pat.len() > tokens.len() {
         return false;
     }
@@ -73,13 +83,13 @@ fn seq(tokens: &[Token], i: usize, pat: &[&str]) -> bool {
         .all(|(want, t)| matches!(t.kind, TokenKind::Ident | TokenKind::Punct) && t.text == *want)
 }
 
-fn is_code_ident(t: &Token, text: &str) -> bool {
+pub(crate) fn is_code_ident(t: &Token, text: &str) -> bool {
     t.kind == TokenKind::Ident && t.text == text
 }
 
 /// Index of the first token of the statement containing `tokens[i]`
 /// (the token after the nearest preceding `;`, `{`, or `}`).
-fn statement_start(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn statement_start(tokens: &[Token], i: usize) -> usize {
     let mut k = i;
     while k > 0 {
         let prev = &tokens[k - 1];

@@ -13,6 +13,12 @@ use std::path::{Path, PathBuf};
 /// Name of the committed panic-ratchet file at the workspace root.
 pub const RATCHET_FILE: &str = "zen2-lint.ratchet";
 
+/// Name of the committed dead-pub baseline at the workspace root.
+pub const DEADPUB_FILE: &str = "zen2-lint.deadpub";
+
+/// Name of the committed snapshot-schema lock at the workspace root.
+pub const SCHEMA_LOCK_FILE: &str = "SNAPSHOT_SCHEMA.lock";
+
 const SCAN_ROOTS: &[&str] = &["src", "tests", "examples", "crates"];
 const SKIP_PREFIXES: &[&str] = &["crates/vendor/", "crates/zen2-lint/tests/fixtures/"];
 

@@ -1,0 +1,12 @@
+fn count(xs: &[u64]) -> u64 {
+    let total: u64 = xs.iter().sum();
+    let mut events = 0u64;
+    for x in xs {
+        events += x;
+    }
+    total + events
+}
+
+fn extremes(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::MIN, f64::max)
+}

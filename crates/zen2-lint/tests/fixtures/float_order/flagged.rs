@@ -1,0 +1,9 @@
+fn totals(xs: &[f64]) -> f64 {
+    let direct: f64 = xs.iter().sum();
+    let folded = xs.iter().fold(0.0, |a, b| a + b);
+    let mut acc = 0.0f64;
+    for x in xs {
+        acc += x;
+    }
+    direct + folded + acc
+}

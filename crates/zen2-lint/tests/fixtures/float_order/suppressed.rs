@@ -1,0 +1,10 @@
+fn weighted(xs: &[f64]) -> f64 {
+    // zen2-lint: allow(float-order) — caller passes a fixed-order slice; single left-to-right pass
+    let total: f64 = xs.iter().sum();
+    let mut acc = 0.0;
+    for x in xs {
+        // zen2-lint: allow(float-order) — chronological trace order; the order is the contract
+        acc += x;
+    }
+    total + acc
+}

@@ -1,0 +1,5 @@
+fn run() {
+    let mut rng = Rng::seed_from_u64(42);
+    let other = SmallRng::from_seed(SEED_BYTES);
+    consume(rng.next(), other);
+}

@@ -4,11 +4,11 @@
 //! excluded from the workspace scan, so the deliberate violations in
 //! them never fail the real tree.
 
-use zen2_lint::{check_files, ratchet, Report, SourceFile};
+use zen2_lint::{check_files, ratchet, CheckContext, Report, SourceFile};
 
 /// Runs the full engine over one fixture pretending to live at `rel`.
 fn check_at(rel: &str, text: &str) -> Report {
-    check_files(&[SourceFile::parse(rel, text)], &ratchet::Baseline::empty())
+    check_files(&[SourceFile::parse(rel, text)], &CheckContext::local(ratchet::Baseline::empty()))
 }
 
 fn rule_lines(report: &Report, rule: &str) -> Vec<usize> {
@@ -139,7 +139,8 @@ fn snapshot_coverage_sees_impls_across_files() {
     );
     let impl_site =
         SourceFile::parse("crates/zen2-sim/src/elsewhere.rs", "impl Snapshot for Novel {}\n");
-    let report = check_files(&[use_site, impl_site], &ratchet::Baseline::empty());
+    let report =
+        check_files(&[use_site, impl_site], &CheckContext::local(ratchet::Baseline::empty()));
     assert!(report.is_clean(), "cross-file impl must satisfy the rule:\n{}", report.render());
 }
 
@@ -152,7 +153,7 @@ fn panic_ratchet_pins_counts_exactly() {
     };
 
     // Exact match (test-module unwrap excluded): clean.
-    let ok = check_files(&[SourceFile::parse(rel, text)], &entry(2));
+    let ok = check_files(&[SourceFile::parse(rel, text)], &CheckContext::local(entry(2)));
     assert!(ok.is_clean(), "exact ceiling should pass:\n{}", ok.render());
 
     // No entry at all: flagged.
@@ -160,12 +161,12 @@ fn panic_ratchet_pins_counts_exactly() {
     assert_eq!(rule_lines(&none, "panic-ratchet"), [2]);
 
     // Growth past the ceiling: flagged.
-    let grew = check_files(&[SourceFile::parse(rel, text)], &entry(1));
+    let grew = check_files(&[SourceFile::parse(rel, text)], &CheckContext::local(entry(1)));
     assert_eq!(rule_lines(&grew, "panic-ratchet"), [2]);
     assert!(grew.findings[0].message.contains("grew"));
 
     // Shrinkage below the pin: flagged, telling you to tighten.
-    let shrank = check_files(&[SourceFile::parse(rel, text)], &entry(3));
+    let shrank = check_files(&[SourceFile::parse(rel, text)], &CheckContext::local(entry(3)));
     assert_eq!(rule_lines(&shrank, "panic-ratchet"), [2]);
     assert!(shrank.findings[0].message.contains("tighten"));
 }
@@ -177,7 +178,7 @@ fn panic_ratchet_flags_stale_and_unexplained_entries() {
         "crates/zen2-sim/src/gone.rs = 2  # TODO: explain why these panic sites are acceptable\n",
     )
     .expect("valid baseline");
-    let report = check_files(&[clean_file], &baseline);
+    let report = check_files(&[clean_file], &CheckContext::local(baseline));
     let messages: Vec<_> = report.findings.iter().map(|f| (f.rule, f.message.as_str())).collect();
     assert!(
         messages.iter().any(|(r, m)| *r == "panic-ratchet" && m.contains("stale")),
@@ -201,4 +202,199 @@ fn malformed_and_unused_annotations_are_findings() {
         check_at("crates/zen2-sim/src/fixture.rs", include_str!("fixtures/suppression/unused.rs"));
     assert_eq!(rule_lines(&unused, "suppression"), [2], "{}", unused.render());
     assert!(unused.findings[0].message.contains("unused"));
+}
+
+#[test]
+fn seed_discipline_triple() {
+    assert_triple(
+        "seed-discipline",
+        "crates/zen2-sim/src/fixture.rs",
+        include_str!("fixtures/seed_discipline/flagged.rs"),
+        include_str!("fixtures/seed_discipline/clean.rs"),
+        include_str!("fixtures/seed_discipline/suppressed.rs"),
+        &[2, 3],
+    );
+}
+
+#[test]
+fn seed_discipline_covers_power_but_not_infra_crates() {
+    let flagged = include_str!("fixtures/seed_discipline/flagged.rs");
+    let power = check_at("crates/zen2-power/src/fixture.rs", flagged);
+    assert_eq!(rule_lines(&power, "seed-discipline"), [2, 3], "zen2-power is in seed scope");
+    let infra = check_at("crates/zen2-rapl/src/fixture.rs", flagged);
+    assert!(infra.is_clean(), "infra crates are out of seed scope:\n{}", infra.render());
+}
+
+#[test]
+fn float_order_triple() {
+    assert_triple(
+        "float-order",
+        "crates/zen2-sim/src/fixture.rs",
+        include_str!("fixtures/float_order/flagged.rs"),
+        include_str!("fixtures/float_order/clean.rs"),
+        include_str!("fixtures/float_order/suppressed.rs"),
+        &[2, 3, 6],
+    );
+}
+
+#[test]
+fn float_order_blesses_stats_home_and_skips_infra() {
+    let flagged = include_str!("fixtures/float_order/flagged.rs");
+    let home = check_at("crates/zen2-sim/src/stats.rs", flagged);
+    assert!(home.is_clean(), "stats.rs is the blessed home:\n{}", home.render());
+    let infra = check_at("crates/zen2-rapl/src/fixture.rs", flagged);
+    assert!(infra.is_clean(), "infra crates are out of scope:\n{}", infra.render());
+}
+
+// ---- snapshot-schema: the lock must pin key sets and order against ----
+// ---- the checkpoint format version.                                ----
+
+/// A miniature workspace: one MAGIC, one Snapshot impl.
+fn schema_files(magic: &str, body: &str) -> Vec<SourceFile> {
+    let text = format!(
+        "pub const MAGIC: &str = \"{magic}\";\npub struct W {{ n: u64 }}\nimpl Snapshot for W {{\n    fn snapshot(&self) -> Json {{\n        {body}\n    }}\n}}\n"
+    );
+    vec![SourceFile::parse("crates/zen2-sim/src/fixture.rs", &text)]
+}
+
+fn schema_ctx(lock: Option<zen2_lint::schema::Lock>) -> CheckContext {
+    CheckContext { ratchet: ratchet::Baseline::empty(), deadpub: None, schema_lock: Some(lock) }
+}
+
+#[test]
+fn snapshot_schema_locks_then_detects_field_reorder() {
+    use zen2_lint::schema;
+
+    let v1 = schema_files("ck v1", "Json::obj([(\"count\", a), (\"mean\", b)])");
+    let lock = schema::parse_lock(&schema::render_lock(&schema::extract(&v1), None))
+        .expect("generated lock parses");
+    let ok = check_files(&v1, &schema_ctx(Some(lock.clone())));
+    assert!(ok.is_clean(), "fresh lock should pass:\n{}", ok.render());
+
+    // Deliberate field reorder, same format version: drift must fail
+    // the check and point at the MAGIC bump.
+    let reordered = schema_files("ck v1", "Json::obj([(\"mean\", b), (\"count\", a)])");
+    let drift = check_files(&reordered, &schema_ctx(Some(lock.clone())));
+    assert_eq!(rule_lines(&drift, "snapshot-schema").len(), 1, "{}", drift.render());
+    assert!(drift.findings[0].message.contains("bump MAGIC"), "{}", drift.render());
+
+    // Regeneration refuses under the unchanged version…
+    let blockers = schema::regeneration_blockers(&schema::extract(&reordered), &lock);
+    assert!(!blockers.is_empty(), "same-version drift must block regeneration");
+
+    // …and a version bump unlocks it: regenerate, check passes again.
+    let bumped = schema_files("ck v2", "Json::obj([(\"mean\", b), (\"count\", a)])");
+    let ex2 = schema::extract(&bumped);
+    let mismatch = check_files(&bumped, &schema_ctx(Some(lock.clone())));
+    assert_eq!(rule_lines(&mismatch, "snapshot-schema").len(), 1, "{}", mismatch.render());
+    assert!(schema::regeneration_blockers(&ex2, &lock).is_empty(), "bump unlocks regeneration");
+    let lock2 = schema::parse_lock(&schema::render_lock(&ex2, Some(&lock))).expect("new lock");
+    let ok2 = check_files(&bumped, &schema_ctx(Some(lock2)));
+    assert!(ok2.is_clean(), "regenerated lock should pass:\n{}", ok2.render());
+}
+
+#[test]
+fn snapshot_schema_missing_lock_and_new_impl_are_findings() {
+    let v1 = schema_files("ck v1", "Json::obj([(\"count\", a)])");
+    let missing = check_files(&v1, &schema_ctx(None));
+    assert_eq!(rule_lines(&missing, "snapshot-schema"), [1], "{}", missing.render());
+    assert!(missing.findings[0].message.contains("missing"));
+
+    // A lock that has never seen this impl: the new entry is a finding
+    // at the impl's source line.
+    let empty = zen2_lint::schema::parse_lock("format = ck v1\n").expect("minimal lock");
+    let fresh = check_files(&v1, &schema_ctx(Some(empty)));
+    assert_eq!(rule_lines(&fresh, "snapshot-schema"), [5], "{}", fresh.render());
+}
+
+#[test]
+fn snapshot_schema_regeneration_preserves_comments() {
+    use zen2_lint::schema;
+    let v1 = schema_files("ck v1", "Json::obj([(\"count\", a)])");
+    let ex = schema::extract(&v1);
+    let first = schema::render_lock(&ex, None);
+    let annotated = first.replace(" = {count}", " = {count}  # counts only; mean lives in Welford");
+    let prior = schema::parse_lock(&annotated).expect("annotated lock parses");
+    let again = schema::render_lock(&ex, Some(&prior));
+    assert!(
+        again.contains("# counts only; mean lives in Welford"),
+        "entry comments must survive regeneration:\n{again}"
+    );
+}
+
+// ---- dead-pub: the reachability ratchet must fail on growth and on ----
+// ---- shrinkage (stale entries), and reject unexplained keeps.      ----
+
+fn deadpub_files() -> Vec<SourceFile> {
+    let lib = "pub fn used() {}\npub fn orphan() {}\n";
+    let root = "fn main() { used(); }\n";
+    vec![
+        SourceFile::parse("crates/zen2-sim/src/fixture.rs", lib),
+        SourceFile::parse("crates/zen2-sim/src/main.rs", root),
+    ]
+}
+
+fn deadpub_ctx(baseline: &str) -> CheckContext {
+    CheckContext {
+        ratchet: ratchet::Baseline::empty(),
+        deadpub: Some(zen2_lint::deadpub::parse(baseline).expect("valid baseline")),
+        schema_lock: None,
+    }
+}
+
+#[test]
+fn dead_pub_ratchet_growth_and_shrinkage() {
+    // Growth: an unlisted dead item fails at its definition line.
+    let grew = check_files(&deadpub_files(), &deadpub_ctx(""));
+    assert_eq!(rule_lines(&grew, "dead-pub"), [2], "{}", grew.render());
+    assert!(grew.findings[0].message.contains("orphan"));
+
+    // A reasoned entry passes.
+    let kept = check_files(
+        &deadpub_files(),
+        &deadpub_ctx("crates/zen2-sim/src/fixture.rs::orphan = kept  # exercised by ops scripts\n"),
+    );
+    assert!(kept.is_clean(), "reasoned keep should pass:\n{}", kept.render());
+
+    // A TODO reason does not count.
+    let todo = check_files(
+        &deadpub_files(),
+        &deadpub_ctx("crates/zen2-sim/src/fixture.rs::orphan = kept  # TODO: justify\n"),
+    );
+    assert_eq!(rule_lines(&todo, "dead-pub"), [2], "{}", todo.render());
+    assert!(todo.findings[0].message.contains("unexplained"));
+
+    // Shrinkage: an entry whose item became reachable again is stale.
+    let stale = check_files(
+        &deadpub_files(),
+        &deadpub_ctx(
+            "crates/zen2-sim/src/fixture.rs::orphan = kept  # exercised by ops scripts\ncrates/zen2-sim/src/fixture.rs::used = kept  # left over\n",
+        ),
+    );
+    assert_eq!(rule_lines(&stale, "dead-pub"), [1], "{}", stale.render());
+    assert!(stale.findings[0].message.contains("stale"));
+    assert_eq!(stale.findings[0].rel, "zen2-lint.deadpub");
+}
+
+#[test]
+fn dead_pub_roots_reach_through_impls_and_doctests() {
+    // An impl of a live type keeps what its body references alive.
+    let lib =
+        "pub struct Live;\npub fn helper() {}\nimpl Live {\n    pub fn go() { helper(); }\n}\n";
+    let root = "fn main() { Live::go(); }\n";
+    let files = vec![
+        SourceFile::parse("crates/zen2-sim/src/fixture.rs", lib),
+        SourceFile::parse("crates/zen2-sim/src/main.rs", root),
+    ];
+    let report = check_files(&files, &deadpub_ctx(""));
+    assert!(report.is_clean(), "impl bodies propagate liveness:\n{}", report.render());
+
+    // A doctest fence is a root: `fenced` is only used there.
+    let doc = "/// ```\n/// fenced();\n/// ```\npub fn fenced() {}\n";
+    let files = vec![
+        SourceFile::parse("crates/zen2-sim/src/fixture.rs", doc),
+        SourceFile::parse("crates/zen2-sim/src/main.rs", "fn main() {}\n"),
+    ];
+    let report = check_files(&files, &deadpub_ctx(""));
+    assert!(report.is_clean(), "doctests exercise API:\n{}", report.render());
 }

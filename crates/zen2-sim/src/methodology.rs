@@ -3,6 +3,7 @@
 /// Sample mean.
 pub fn mean(samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "mean of an empty sample set");
+    // zen2-lint: allow(float-order) — left-to-right pass in the caller's slice order, which is fixed
     samples.iter().sum::<f64>() / samples.len() as f64
 }
 
@@ -10,6 +11,7 @@ pub fn mean(samples: &[f64]) -> f64 {
 pub fn std_dev(samples: &[f64]) -> f64 {
     assert!(samples.len() >= 2, "standard deviation needs at least two samples");
     let m = mean(samples);
+    // zen2-lint: allow(float-order) — left-to-right pass in the caller's slice order, which is fixed
     let var = samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (samples.len() - 1) as f64;
     var.sqrt()
 }

@@ -106,6 +106,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
                 core_est_w[core_idx] = cfg.rapl.core_estimate_w(kernel, smt, f, v, die_c)
                     + state.est_noise_w[core_idx];
                 let ccd = topo.ccd_of_core(core).index();
+                // zen2-lint: allow(float-order) — accumulates in ascending core-index order, fixed by the topology
                 ccd_demand_gbs[ccd] += kernel.dram_demand_bytes_per_s(smt, f * 1e9) / 1e9;
             }
             CoreIdleClass::ClockGated => {
@@ -122,6 +123,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
     // Cap per-CCD DRAM demand at the fabric/DRAM capacity.
     let plan = ClockPlan::resolve(cfg.iod_pstate, cfg.dram);
     let ccd_cap = cfg.bandwidth.link_cap_gbs(&plan).min(cfg.bandwidth.dram_cap_gbs(&plan));
+    // zen2-lint: allow(float-order) — one pass in ascending CCD-index order, fixed by the topology
     let dram_traffic_gbs: f64 = ccd_demand_gbs.iter().map(|&d| d.min(ccd_cap)).sum();
 
     let any_awake = pkg_awake.iter().any(|&a| a);
@@ -135,7 +137,9 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
     let mut pkg_est_w = vec![0.0; num_pkgs];
     for pkg in 0..num_pkgs {
         let cores = pkg * topo.cores_per_socket()..(pkg + 1) * topo.cores_per_socket();
+        // zen2-lint: allow(float-order) — one pass in ascending core-index order, fixed by the topology
         let cores_true: f64 = core_true_w[cores.clone()].iter().sum();
+        // zen2-lint: allow(float-order) — one pass in ascending core-index order, fixed by the topology
         let cores_est: f64 = core_est_w[cores].iter().sum();
         if pkg_awake[pkg] {
             let base = cfg.power.package.awake_base_w(cfg.iod_pstate, cfg.dram);
@@ -147,6 +151,7 @@ pub fn evaluate(cfg: &SimConfig, state: &MachineState<'_>) -> PowerBreakdown {
         pkg_est_w[pkg] = cfg.rapl.package_estimate_w(cores_est, pkg_awake[pkg]);
     }
 
+    // zen2-lint: allow(float-order) — one pass in ascending package-index order, fixed by the topology
     let dc_w = pkg_true_w.iter().sum::<f64>() + dram_w + cfg.power.platform_dc_w;
     let ac_w = cfg.power.psu.ac_from_dc(dc_w);
 

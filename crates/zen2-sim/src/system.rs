@@ -502,6 +502,7 @@ impl System {
             let lo = seg_start.max(from);
             let hi = seg_end.min(to);
             if hi > lo {
+                // zen2-lint: allow(float-order) — trace segments integrate in chronological order, which is fixed
                 energy += watts * to_secs(hi - lo);
             }
         }
