@@ -11,8 +11,9 @@
 use criterion::{criterion_group, Criterion};
 use std::cell::Cell;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_obs::clock;
 use zen2_sim::stats::OnlineStats;
 use zen2_sim::time::MICROSECOND;
 use zen2_sim::{Axis, Case, Probe, Session, SimConfig, Sweep, Window};
@@ -89,7 +90,7 @@ fn residency_report() {
         let created = Cell::new(0usize);
         let delivered = Cell::new(0usize);
         let peak = Cell::new(0usize);
-        let start = Instant::now();
+        let start = clock::now_ns();
         session
             .run_streaming(
                 sweep.cases().inspect(|_| {
@@ -102,15 +103,15 @@ fn residency_report() {
                 },
             )
             .expect("sweep validates");
-        let stream_s = start.elapsed().as_secs_f64();
+        let stream_s = clock::secs_since(start);
         let stream_peak = peak.get();
         assert!(stream_peak <= WORKERS * SHARD);
 
-        let start = Instant::now();
+        let start = clock::now_ns();
         let materialized: Vec<Case> = sweep.cases().collect();
         let runs = session.run(&materialized).expect("sweep validates");
         black_box(&runs);
-        let mat_s = start.elapsed().as_secs_f64();
+        let mat_s = clock::secs_since(start);
 
         println!(
             "{:>9} {:>12.2} {:>14} {:>12.2} {:>14}",

@@ -1,8 +1,16 @@
 //! Sweep-throughput trajectory point: times the representative
-//! `bench_sweep` grids (10^3 and 10^4 cases, streaming and materialized
-//! execution) once each and writes `BENCH_7.json` at the workspace root
-//! — the first point in the `BENCH_*.json` history the ROADMAP's perf
-//! trajectory accumulates PR over PR.
+//! `bench_sweep` grids once each (10^3 and 10^4 cases in both execution
+//! styles, 10^5 streaming-only — materializing that grid would defeat
+//! the bounded-memory point) and writes `BENCH_8.json` at the workspace
+//! root — the next point in the `BENCH_*.json` history the ROADMAP's
+//! perf trajectory accumulates PR over PR.
+//!
+//! New over `BENCH_7.json`: the telemetry phase timers. A second 10^5
+//! streaming run executes with a span recorder attached, breaking the
+//! per-case cost into the engine's phases (fork, sim, reduce,
+//! checkpoint, …), and a dedicated kernel grid reports per-case sim
+//! cost for the hottest simulator kernels — the numbers that tell the
+//! next optimization PR where the time actually goes.
 //!
 //! ```sh
 //! cargo run --release -p zen2-bench --bin bench_trajectory
@@ -13,11 +21,14 @@
 //! not a statistically sampled comparison. Run it release-mode on an
 //! otherwise idle machine.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 use zen2_isa::{KernelClass, OperandWeight};
+use zen2_obs::clock;
+use zen2_sim::obs::{Attr, AttrValue, Recorder, SpanId, SPAN_CASE, SPAN_SIM};
 use zen2_sim::stats::OnlineStats;
 use zen2_sim::time::MICROSECOND;
 use zen2_sim::{Axis, Case, Probe, Session, SimConfig, Sweep, Window};
@@ -48,43 +59,194 @@ fn grid(cases: usize) -> Sweep {
         .axis(Axis::param("rep", (0..cases / levels).map(|r| r as f64)))
 }
 
+/// The hottest simulator kernels, by how much machinery one simulated
+/// microsecond drags in: FIRESTARTER's near-peak utilization, the
+/// Fig. 9 compute/memory mixes, and the busy-wait baseline the
+/// throughput grid is built from.
+const HOT_KERNELS: &[(&str, KernelClass)] = &[
+    ("busy_wait", KernelClass::BusyWait),
+    ("compute", KernelClass::Compute),
+    ("firestarter", KernelClass::Firestarter),
+    ("matmul", KernelClass::Matmul),
+    ("memory_read", KernelClass::MemoryRead),
+];
+
+/// A per-kernel cost grid: each case runs one hot kernel on four
+/// threads, repeated `reps` times per kernel.
+fn kernel_grid(reps: usize) -> Sweep {
+    let mut base = zen2_sim::Scenario::new();
+    base.probe("ac", Probe::AcPowerW, Window::at(20 * MICROSECOND));
+    let mut kernel = Axis::new("kernel");
+    for (name, class) in HOT_KERNELS {
+        let class = *class;
+        kernel = kernel.with(*name, move |draft| {
+            let mut at = draft.scenario.at(0);
+            for t in 0..4u32 {
+                at = at.workload(ThreadId(t), class, OperandWeight::HALF);
+            }
+        });
+    }
+    Sweep::new("kernel-cost", SimConfig::epyc_7502_2s())
+        .scenario(base)
+        .seed(2)
+        .axis(kernel)
+        .axis(Axis::param("rep", (0..reps).map(|r| r as f64)))
+}
+
 struct Point {
     cases: usize,
     style: &'static str,
     cases_per_sec: f64,
 }
 
-fn measure(cases: usize) -> Vec<Point> {
+fn measure(cases: usize, with_materialized: bool) -> Vec<Point> {
     let sweep = grid(cases);
     assert_eq!(sweep.len(), cases);
     let session = Session::new().workers(WORKERS).shard_size(SHARD);
 
-    let t = Instant::now();
+    let t = clock::now_ns();
     let mut stats = OnlineStats::new();
     let n = session
         .run_streaming(sweep.cases(), |_, run| stats.push(run.watts("ac")))
         .expect("sweep validates");
     assert_eq!(n, cases);
-    let streaming = cases as f64 / t.elapsed().as_secs_f64();
+    let mut points = vec![Point {
+        cases,
+        style: "streaming",
+        cases_per_sec: cases as f64 / clock::secs_since(t),
+    }];
 
-    let t = Instant::now();
-    let materialized: Vec<Case> = sweep.cases().collect();
-    let runs = session.run(&materialized).expect("sweep validates");
-    assert_eq!(runs.len(), cases);
-    let materialized = cases as f64 / t.elapsed().as_secs_f64();
+    if with_materialized {
+        let t = clock::now_ns();
+        let materialized: Vec<Case> = sweep.cases().collect();
+        let runs = session.run(&materialized).expect("sweep validates");
+        assert_eq!(runs.len(), cases);
+        points.push(Point {
+            cases,
+            style: "materialized",
+            cases_per_sec: cases as f64 / clock::secs_since(t),
+        });
+    }
+    points
+}
 
-    vec![
-        Point { cases, style: "streaming", cases_per_sec: streaming },
-        Point { cases, style: "materialized", cases_per_sec: materialized },
-    ]
+/// Span-duration totals per phase name, plus per-kernel sim-span
+/// totals (the kernel comes from the parent `case` span's label).
+#[derive(Default)]
+struct PhaseRecorder {
+    inner: Mutex<PhaseState>,
+}
+
+#[derive(Default)]
+struct PhaseState {
+    open: BTreeMap<u64, Open>,
+    phases: BTreeMap<&'static str, Acc>,
+    sim_by_kernel: BTreeMap<String, Acc>,
+}
+
+struct Open {
+    name: &'static str,
+    t: u64,
+    kernel: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct Acc {
+    count: u64,
+    total_ns: u64,
+}
+
+impl Acc {
+    fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The `kernel=<value>` segment of a case label, if present.
+fn kernel_of(label: &str) -> Option<String> {
+    label.split('/').find_map(|seg| seg.strip_prefix("kernel=")).map(str::to_string)
+}
+
+impl Recorder for PhaseRecorder {
+    fn span_open(
+        &self,
+        id: SpanId,
+        parent: Option<SpanId>,
+        name: &'static str,
+        attrs: &[Attr<'_>],
+    ) {
+        let t = clock::now_ns();
+        let mut s = self.inner.lock().expect("phase recorder poisoned");
+        let kernel = if name == SPAN_CASE {
+            attrs.iter().find_map(|(k, v)| match v {
+                AttrValue::Str(label) if *k == "label" => kernel_of(label),
+                _ => None,
+            })
+        } else if name == SPAN_SIM {
+            parent.and_then(|p| s.open.get(&p.0)).and_then(|o| o.kernel.clone())
+        } else {
+            None
+        };
+        s.open.insert(id.0, Open { name, t, kernel });
+    }
+
+    fn span_close(&self, id: SpanId) {
+        let t = clock::now_ns();
+        let mut s = self.inner.lock().expect("phase recorder poisoned");
+        let Some(open) = s.open.remove(&id.0) else { return };
+        let dur = t.saturating_sub(open.t);
+        let acc = s.phases.entry(open.name).or_default();
+        acc.count += 1;
+        acc.total_ns += dur;
+        if open.name == SPAN_SIM {
+            if let Some(kernel) = open.kernel {
+                let acc = s.sim_by_kernel.entry(kernel).or_default();
+                acc.count += 1;
+                acc.total_ns += dur;
+            }
+        }
+    }
+
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+    fn gauge(&self, _name: &'static str, _value: f64) {}
+    fn observe(&self, _name: &'static str, _value: f64) {}
+    fn event(&self, _name: &'static str, _attrs: &[Attr<'_>]) {}
+}
+
+/// Streams `sweep` with a [`PhaseRecorder`] attached and returns its
+/// final state.
+fn profile(sweep: Sweep) -> PhaseState {
+    let recorder = Arc::new(PhaseRecorder::default());
+    let session = Session::new().workers(WORKERS).shard_size(SHARD).recorder(recorder.clone());
+    let mut stats = OnlineStats::new();
+    session
+        .run_streaming(sweep.cases(), |_, run| stats.push(run.watts("ac")))
+        .expect("sweep validates");
+    drop(session);
+    let recorder = Arc::into_inner(recorder).expect("session dropped its recorder handle");
+    recorder.inner.into_inner().expect("phase recorder poisoned")
 }
 
 fn main() {
     let mut points = Vec::new();
     for cases in [1_000usize, 10_000] {
         eprintln!("timing {cases}-case grid…");
-        points.extend(measure(cases));
+        points.extend(measure(cases, true));
     }
+    eprintln!("timing 100000-case grid (streaming only)…");
+    points.extend(measure(100_000, false));
+
+    eprintln!("profiling 100000-case streaming run (phase timers)…");
+    let phase_cases = 100_000usize;
+    let phases = profile(grid(phase_cases));
+
+    let kernel_reps = 200usize;
+    eprintln!("profiling per-kernel sim cost ({kernel_reps} cases/kernel)…");
+    let kernels = profile(kernel_grid(kernel_reps));
 
     // Hand-rolled JSON, like the sim's snapshot writer: stable key
     // order, one object per line, no dependencies.
@@ -100,9 +262,35 @@ fn main() {
             p.cases, p.style, p.cases_per_sec
         );
     }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"phases_cases\": {phase_cases},");
+    out.push_str("  \"phases\": [\n");
+    for (i, (name, acc)) in phases.phases.iter().enumerate() {
+        let sep = if i + 1 < phases.phases.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"span\": \"{}\", \"count\": {}, \"total_ms\": {:.1}, \"mean_ns\": {:.0}}}{sep}",
+            name,
+            acc.count,
+            acc.total_ns as f64 / 1e6,
+            acc.mean_ns()
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, (kernel, acc)) in kernels.sim_by_kernel.iter().enumerate() {
+        let sep = if i + 1 < kernels.sim_by_kernel.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"kernel\": \"{}\", \"cases\": {}, \"sim_ns_per_case\": {:.0}}}{sep}",
+            kernel,
+            acc.count,
+            acc.mean_ns()
+        );
+    }
     out.push_str("  ]\n}\n");
 
-    fs::write("BENCH_7.json", &out).expect("write BENCH_7.json");
+    fs::write("BENCH_8.json", &out).expect("write BENCH_8.json");
     print!("{out}");
-    eprintln!("wrote BENCH_7.json");
+    eprintln!("wrote BENCH_8.json");
 }

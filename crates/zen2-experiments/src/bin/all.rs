@@ -9,9 +9,16 @@
 //! same flags re-runs only the unfinished grid and re-emits the
 //! finished ones from their checkpoints (see `docs/SWEEPS.md`; the
 //! single-binary testing aid `--halt-after` is not supported here).
+//!
+//! `--progress` prints a per-experiment banner plus heartbeat lines
+//! (`done/total … cases/s … eta`) on stderr, so a long `--paper` run is
+//! never silent; `--obs <path>` additionally writes one shared JSONL
+//! telemetry trace covering every sweep and prints an aggregate summary
+//! table at the end (see `docs/OBSERVABILITY.md`). Neither flag can
+//! change results.
 use zen2_experiments as e;
 use zen2_experiments::report::{tables_to_json, Table};
-use zen2_experiments::{session_from_args, CheckpointCli, Scale};
+use zen2_experiments::{session_from_args, CheckpointCli, ObsCli, Scale};
 use zen2_isa::KernelClass;
 use zen2_sim::CheckpointError;
 
@@ -37,7 +44,20 @@ fn main() {
         std::process::exit(2);
     };
     let ckpt = CheckpointCli::from_args().unwrap_or_else(|m| usage(m));
-    let session = session_from_args().unwrap_or_else(|m| usage(m));
+    let obs = ObsCli::from_args().unwrap_or_else(|m| usage(m));
+    let mut session = session_from_args().unwrap_or_else(|m| usage(m));
+    let stack = obs.stack().unwrap_or_else(|m| usage(m));
+    if let Some(stack) = &stack {
+        session = stack.attach(session);
+    }
+    // With --progress a long suite is never silent: each experiment
+    // announces itself on stderr, and the wide grids stream heartbeat
+    // lines through the shared sink stack while they run.
+    let announce = |name: &str| {
+        if obs.progress {
+            eprintln!("all: running {name}");
+        }
+    };
     // In text mode each experiment's report prints as soon as it
     // finishes (a --paper run takes a while); --json collects every
     // table and emits one array at the end.
@@ -53,10 +73,13 @@ fn main() {
     if !json {
         println!("=== zen2-ee: full experiment suite ({scale:?} scale) ===\n");
     }
+    announce("fig01");
     let fig01 = e::fig01_green500::run();
     emit(e::fig01_green500::render(&fig01), e::fig01_green500::tables(&fig01));
+    announce("fig03");
     let fig03 = e::fig03_transition::run(&e::fig03_transition::Config::fig3(scale), 1);
     emit(e::fig03_transition::render(&fig03), e::fig03_transition::tables(&fig03));
+    announce("tab1");
     let tab1 = checkpointed(
         "tab1",
         e::tab1_mixed_freq::run_checkpointed(
@@ -67,10 +90,13 @@ fn main() {
         ),
     );
     emit(e::tab1_mixed_freq::render(&tab1), e::tab1_mixed_freq::tables(&tab1));
+    announce("fig04");
     let fig04 = e::fig04_l3_latency::run(&e::fig04_l3_latency::Config::new(scale), 3);
     emit(e::fig04_l3_latency::render(&fig04), e::fig04_l3_latency::tables(&fig04));
+    announce("fig05");
     let fig05 = e::fig05_membw::run(4);
     emit(e::fig05_membw::render(&fig05), e::fig05_membw::tables(&fig05));
+    announce("fig06");
     let fig06 = checkpointed(
         "fig06",
         e::fig06_firestarter::run_checkpointed(
@@ -81,6 +107,7 @@ fn main() {
         ),
     );
     emit(e::fig06_firestarter::render(&fig06), e::fig06_firestarter::tables(&fig06));
+    announce("fig07");
     let fig07 = checkpointed(
         "fig07",
         e::fig07_idle_power::run_checkpointed(
@@ -91,8 +118,10 @@ fn main() {
         ),
     );
     emit(e::fig07_idle_power::render(&fig07), e::fig07_idle_power::tables(&fig07));
+    announce("fig08");
     let fig08 = e::fig08_wakeup::run(&e::fig08_wakeup::Config::new(scale), 7);
     emit(e::fig08_wakeup::render(&fig08), e::fig08_wakeup::tables(&fig08));
+    announce("fig09");
     let fig09 = checkpointed(
         "fig09",
         e::fig09_rapl_quality::run_checkpointed(
@@ -104,6 +133,7 @@ fn main() {
     );
     emit(e::fig09_rapl_quality::render(&fig09), e::fig09_rapl_quality::tables(&fig09));
     let f10 = e::fig10_hamming::Config::new(scale);
+    announce("fig10-vxorps");
     let fig10_vxorps = checkpointed(
         "fig10-vxorps",
         e::fig10_hamming::run_checkpointed(
@@ -115,6 +145,7 @@ fn main() {
         ),
     );
     emit(e::fig10_hamming::render(&fig10_vxorps), e::fig10_hamming::tables(&fig10_vxorps));
+    announce("fig10-shr");
     let fig10_shr = checkpointed(
         "fig10-shr",
         e::fig10_hamming::run_checkpointed(
@@ -126,12 +157,16 @@ fn main() {
         ),
     );
     emit(e::fig10_hamming::render(&fig10_shr), e::fig10_hamming::tables(&fig10_shr));
+    announce("sec5a");
     let sec5a = e::sec5a_sibling::run(11);
     emit(e::sec5a_sibling::render(&sec5a), e::sec5a_sibling::tables(&sec5a));
+    announce("sec6b");
     let sec6b = e::sec6b_offline::run(12);
     emit(e::sec6b_offline::render(&sec6b), e::sec6b_offline::tables(&sec6b));
+    announce("sec7");
     let sec7 = e::sec7_update_rate::run(&e::sec7_update_rate::Config::default(), 13);
     emit(e::sec7_update_rate::render(&sec7), e::sec7_update_rate::tables(&sec7));
+    announce("ext_manycore");
     let manycore = checkpointed(
         "ext_manycore",
         e::ext_manycore::run_checkpointed(
@@ -142,9 +177,16 @@ fn main() {
         ),
     );
     emit(e::ext_manycore::render(&manycore), e::ext_manycore::tables(&manycore));
+    announce("ext_cstate_breakeven");
     let breakeven = e::ext_cstate_breakeven::run(15);
     emit(e::ext_cstate_breakeven::render(&breakeven), e::ext_cstate_breakeven::tables(&breakeven));
 
+    if let Some(stack) = &stack {
+        if let Err(message) = stack.finish() {
+            eprintln!("all: {message}");
+            std::process::exit(1);
+        }
+    }
     if json {
         println!("{}", tables_to_json(&tables));
     }

@@ -4,8 +4,12 @@
 //! machine-readable JSON; `--checkpoint <path>` keeps one checkpoint
 //! file per kernel (`<path>-vxorps`, `<path>-shr`), so `--resume`
 //! re-emits a finished kernel without re-simulating it (see
-//! `docs/SWEEPS.md`).
-use zen2_experiments::{fig10_hamming as exp, report, session_from_args, CheckpointCli, Scale};
+//! `docs/SWEEPS.md`); `--obs <path>` / `--progress` stream telemetry
+//! and live progress without affecting results (see
+//! `docs/OBSERVABILITY.md`).
+use zen2_experiments::{
+    fig10_hamming as exp, report, session_from_args, CheckpointCli, ObsCli, Scale,
+};
 use zen2_isa::KernelClass;
 
 fn main() {
@@ -15,7 +19,12 @@ fn main() {
         std::process::exit(2);
     };
     let cli = CheckpointCli::from_args().unwrap_or_else(|m| usage(m));
-    let session = session_from_args().unwrap_or_else(|m| usage(m));
+    let obs = ObsCli::from_args().unwrap_or_else(|m| usage(m));
+    let mut session = session_from_args().unwrap_or_else(|m| usage(m));
+    let stack = obs.stack().unwrap_or_else(|m| usage(m));
+    if let Some(stack) = &stack {
+        session = stack.attach(session);
+    }
     // Fig. 10 grids are a single case each (the blocks share one
     // machine), so a run can never halt mid-kernel and the result is
     // always present.
@@ -29,6 +38,12 @@ fn main() {
     };
     let vxorps = run(0xF1610, KernelClass::VXorps, "vxorps");
     let shr = run(0xF1611, KernelClass::Shr, "shr");
+    if let Some(stack) = &stack {
+        if let Err(message) = stack.finish() {
+            eprintln!("fig10: {message}");
+            std::process::exit(1);
+        }
+    }
     report::emit(
         || format!("{}{}", exp::render(&vxorps), exp::render(&shr)),
         || exp::tables(&vxorps).into_iter().chain(exp::tables(&shr)).collect(),

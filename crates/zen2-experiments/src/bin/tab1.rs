@@ -1,7 +1,9 @@
 //! Regenerates Table I (mixed frequencies on one CCX) through the
 //! streaming sweep engine. `--json` emits the summary tables as
 //! machine-readable JSON; `--checkpoint <path>` / `--resume` make the
-//! grid interruptible (see `docs/SWEEPS.md`).
+//! grid interruptible (see `docs/SWEEPS.md`); `--obs <path>` /
+//! `--progress` stream telemetry and live progress without affecting
+//! results (see `docs/OBSERVABILITY.md`).
 use zen2_experiments::{run_checkpointed_bin, tab1_mixed_freq as exp, Scale};
 fn main() {
     let cfg = exp::Config::new(Scale::from_args());

@@ -57,6 +57,8 @@ pub mod seeds;
 pub mod tab1_mixed_freq;
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use zen2_obs::{Heartbeat, JsonlSink, Multi, Recorder, SummarySink};
 use zen2_sim::{CheckpointError, CheckpointSpec, Session};
 
 /// Experiment size: the paper's full parameters or a CI-friendly subset.
@@ -170,6 +172,111 @@ impl CheckpointCli {
     }
 }
 
+/// The uniform observability flags of the wide-grid binaries (the same
+/// set as [`CheckpointCli`], plus `all`):
+///
+/// * `--obs <path>` — write the run's telemetry as a JSONL trace to
+///   `<path>` and print an aggregate summary table (span durations,
+///   cache counters, worker utilization) to stderr at the end.
+/// * `--progress` — print rate-limited `done/total … cases/s … eta`
+///   heartbeat lines to stderr while the sweep runs.
+///
+/// Telemetry is out-of-band by construction: results (stdout, `--json`,
+/// checkpoints) are byte-identical with or without these flags. See
+/// `docs/OBSERVABILITY.md`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsCli {
+    /// The `--obs` trace path, when given.
+    pub obs: Option<PathBuf>,
+    /// Whether `--progress` was passed.
+    pub progress: bool,
+}
+
+impl ObsCli {
+    /// Parses the process arguments (ignoring unrelated flags).
+    ///
+    /// # Errors
+    /// Errors with a usage message on an incomplete flag.
+    pub fn from_args() -> Result<Self, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut cli = Self::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--obs" => {
+                    let path = args.next().ok_or("--obs needs a file path")?;
+                    cli.obs = Some(PathBuf::from(path));
+                }
+                "--progress" => cli.progress = true,
+                _ => {}
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Builds the sink stack these flags ask for — `None` when neither
+    /// flag was passed (the session then runs with zero telemetry
+    /// overhead).
+    ///
+    /// # Errors
+    /// Errors when the `--obs` trace file cannot be created.
+    pub fn stack(&self) -> Result<Option<ObsStack>, String> {
+        let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+        let mut jsonl = None;
+        let mut summary = None;
+        if let Some(path) = &self.obs {
+            let sink = Arc::new(
+                JsonlSink::create(path).map_err(|e| format!("--obs {}: {e}", path.display()))?,
+            );
+            sinks.push(sink.clone());
+            jsonl = Some(sink);
+            let agg = Arc::new(SummarySink::new());
+            sinks.push(agg.clone());
+            summary = Some(agg);
+        }
+        if self.progress {
+            sinks.push(Arc::new(Heartbeat::new()));
+        }
+        if sinks.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(ObsStack { recorder: Arc::new(Multi::new(sinks)), jsonl, summary }))
+    }
+}
+
+/// The live sink stack behind one `--obs` / `--progress` invocation:
+/// attach it to the session before the run, [`ObsStack::finish`] it
+/// after.
+pub struct ObsStack {
+    recorder: Arc<Multi>,
+    jsonl: Option<Arc<JsonlSink>>,
+    summary: Option<Arc<SummarySink>>,
+}
+
+impl ObsStack {
+    /// Attaches the stack to a session.
+    pub fn attach(&self, session: Session) -> Session {
+        session.recorder(self.recorder.clone())
+    }
+
+    /// Flushes the JSONL trace and prints the summary table to stderr.
+    ///
+    /// # Errors
+    /// Errors when the trace file failed to write.
+    pub fn finish(&self) -> Result<(), String> {
+        if let Some(jsonl) = &self.jsonl {
+            jsonl.finish().map_err(|e| format!("writing telemetry trace: {e}"))?;
+        }
+        if let Some(summary) = &self.summary {
+            eprint!("{}", summary.render());
+        }
+        Ok(())
+    }
+}
+
 /// Builds the session a wide-grid binary streams through, honoring the
 /// optional `--workers <n>` / `--shard-size <n>` flags. Results never
 /// depend on either (the determinism contract); the flags control
@@ -196,10 +303,12 @@ pub fn session_from_args() -> Result<Session, String> {
 }
 
 /// The `main` of every checkpointed wide-grid binary: parses the
-/// checkpoint and session flags, runs the experiment, and either emits
-/// the report (text or `--json`, via [`report::emit`]) or explains the
-/// outcome — usage errors exit 2, checkpoint failures exit 1, and a
-/// deliberate `--halt-after` halt exits 0 with a resume hint on stderr.
+/// checkpoint, observability, and session flags, runs the experiment,
+/// and either emits the report (text or `--json`, via [`report::emit`])
+/// or explains the outcome — usage errors exit 2, checkpoint failures
+/// exit 1, and a deliberate `--halt-after` halt exits 0 with a resume
+/// hint on stderr. `--obs` / `--progress` telemetry goes to the trace
+/// file and stderr, never stdout, so report output is unaffected.
 pub fn run_checkpointed_bin<R>(
     name: &str,
     run: impl FnOnce(&Session, &CheckpointSpec) -> Result<Option<R>, CheckpointError>,
@@ -211,8 +320,20 @@ pub fn run_checkpointed_bin<R>(
         std::process::exit(2);
     };
     let cli = CheckpointCli::from_args().unwrap_or_else(|message| usage(message));
-    let session = session_from_args().unwrap_or_else(|message| usage(message));
-    match run(&session, &cli.spec()) {
+    let obs = ObsCli::from_args().unwrap_or_else(|message| usage(message));
+    let mut session = session_from_args().unwrap_or_else(|message| usage(message));
+    let stack = obs.stack().unwrap_or_else(|message| usage(message));
+    if let Some(stack) = &stack {
+        session = stack.attach(session);
+    }
+    let outcome = run(&session, &cli.spec());
+    if let Some(stack) = &stack {
+        if let Err(message) = stack.finish() {
+            eprintln!("{name}: {message}");
+            std::process::exit(1);
+        }
+    }
+    match outcome {
         Ok(Some(result)) => report::emit(|| render(&result), || tables(&result)),
         Ok(None) => {
             let path = cli.path.as_deref().unwrap_or_else(|| std::path::Path::new("<path>"));
@@ -260,6 +381,27 @@ mod tests {
         assert!(parse(&["--resume"]).unwrap_err().contains("--checkpoint"));
         assert!(parse(&["--halt-after", "2"]).unwrap_err().contains("--checkpoint"));
         assert!(parse(&["--checkpoint", "ck", "--halt-after", "soon"]).is_err());
+    }
+
+    fn parse_obs(args: &[&str]) -> Result<ObsCli, String> {
+        ObsCli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn obs_cli_parses_the_flag_pair() {
+        let cli = parse_obs(&["--json", "--obs", "trace.jsonl", "--progress"]).unwrap();
+        assert_eq!(cli.obs.as_deref(), Some(std::path::Path::new("trace.jsonl")));
+        assert!(cli.progress);
+        assert_eq!(parse_obs(&["--paper"]).unwrap(), ObsCli::default());
+        assert!(parse_obs(&["--obs"]).is_err(), "--obs needs a path");
+    }
+
+    #[test]
+    fn obs_stack_is_absent_without_flags() {
+        assert!(ObsCli::default().stack().unwrap().is_none());
+        let progress_only = ObsCli { obs: None, progress: true };
+        let stack = progress_only.stack().unwrap().expect("progress builds a stack");
+        stack.finish().unwrap();
     }
 
     #[test]

@@ -40,9 +40,11 @@ pub const ALL_RULES: &[&str] = &[
     SUPPRESSION,
 ];
 
-/// Wall-clock reads are allowed here: benchmarking wall time is the
-/// crate's entire purpose, and nothing in it feeds a `Run`/`Measurement`.
-const WALLCLOCK_ALLOWLIST: &[&str] = &["crates/zen2-bench/"];
+/// The one file allowed to read the wall clock: every timestamp a
+/// telemetry sink (or a bench timer) wants goes through
+/// `zen2_obs::clock`, so host time stays structurally unable to reach
+/// a result.
+const WALLCLOCK_ALLOWLIST: &[&str] = &["crates/zen2-obs/src/clock.rs"];
 
 /// The one file allowed to spawn OS threads: `Session` owns the worker
 /// pool, and determinism rests on it being the only spawner.

@@ -51,12 +51,20 @@ fn no_wallclock_triple() {
 }
 
 #[test]
-fn no_wallclock_bench_crate_is_allowlisted() {
-    let report = check_at(
-        "crates/zen2-bench/benches/fixture.rs",
-        include_str!("fixtures/no_wallclock/flagged.rs"),
-    );
-    assert!(report.is_clean(), "bench crate may read wall time:\n{}", report.render());
+fn no_wallclock_allowlist_is_one_file() {
+    let flagged = include_str!("fixtures/no_wallclock/flagged.rs");
+
+    // The telemetry clock module is the single blessed reader.
+    let clock = check_at("crates/zen2-obs/src/clock.rs", flagged);
+    assert!(clock.is_clean(), "zen2_obs::clock owns the wall clock:\n{}", clock.render());
+
+    // Its siblings are not: sinks must take timestamps from `clock`.
+    let sibling = check_at("crates/zen2-obs/src/jsonl.rs", flagged);
+    assert_eq!(rule_lines(&sibling, "no-wallclock"), [1, 4, 5], "obs sinks go through clock");
+
+    // Neither is the bench crate, which used to be allowlisted whole.
+    let bench = check_at("crates/zen2-bench/benches/fixture.rs", flagged);
+    assert_eq!(rule_lines(&bench, "no-wallclock"), [1, 4, 5], "benches go through clock too");
 }
 
 #[test]

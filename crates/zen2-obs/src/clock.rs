@@ -1,0 +1,46 @@
+//! The one wall-clock read in the workspace.
+//!
+//! The `no-wallclock` lint forbids `std::time::Instant` everywhere
+//! except this file: simulated results must be a pure function of
+//! `(config, scenario, seed)`, so host time may only ever flow into
+//! *telemetry* (timestamps on trace lines, throughput in progress
+//! lines), never into a `Run`. Funnelling every read through
+//! [`now_ns`] keeps that boundary auditable — a sink that wants a
+//! timestamp imports this module, and the lint allowlist stays one
+//! file long.
+//!
+//! Timestamps are nanoseconds since the first read in the process
+//! (monotonic, never wraps in practice), so trace lines from one run
+//! are directly comparable and small enough to subtract in a shell
+//! one-liner.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds of monotonic wall time since the process's first read.
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Seconds of wall time elapsed since an earlier [`now_ns`] reading.
+pub fn secs_since(start_ns: u64) -> f64 {
+    now_ns().saturating_sub(start_ns) as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_and_relative_to_first_read() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        assert!(secs_since(a) >= 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Fan-out to several sinks: a sweep typically wants a JSONL trace, a
+//! summary table, *and* a heartbeat at once, and the session takes one
+//! recorder.
+
+use std::sync::Arc;
+
+use zen2_sim::obs::{Attr, Recorder, SpanId};
+
+/// Forwards every call to each sink, in order.
+pub struct Multi {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Multi {
+    /// A fan-out over `sinks` (empty is fine: every call is a no-op).
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Multi {
+        Multi { sinks }
+    }
+}
+
+impl Recorder for Multi {
+    fn span_open(
+        &self,
+        id: SpanId,
+        parent: Option<SpanId>,
+        name: &'static str,
+        attrs: &[Attr<'_>],
+    ) {
+        for s in &self.sinks {
+            s.span_open(id, parent, name, attrs);
+        }
+    }
+
+    fn span_close(&self, id: SpanId) {
+        for s in &self.sinks {
+            s.span_close(id);
+        }
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        for s in &self.sinks {
+            s.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.gauge(name, value);
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        for s in &self.sinks {
+            s.observe(name, value);
+        }
+    }
+
+    fn event(&self, name: &'static str, attrs: &[Attr<'_>]) {
+        for s in &self.sinks {
+            s.event(name, attrs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemorySink;
+
+    #[test]
+    fn forwards_to_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let multi = Multi::new(vec![a.clone(), b.clone()]);
+        multi.counter("cases.done", 2);
+        multi.span_open(SpanId(1), None, "sweep", &[]);
+        multi.span_close(SpanId(1));
+        assert_eq!(a.counter_total("cases.done"), 2);
+        assert_eq!(b.counter_total("cases.done"), 2);
+        assert_eq!(a.span_count("sweep"), 1);
+        assert_eq!(b.span_count("sweep"), 1);
+    }
+}

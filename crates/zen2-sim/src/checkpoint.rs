@@ -69,6 +69,7 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
+use crate::obs::{AttrValue, EVT_SWEEP_TOTAL};
 use crate::probe::Run;
 use crate::session::{Case, Session, SessionError, SessionErrorKind, StreamControl, StreamEvent};
 use crate::snapshot::{Json, Snapshot, SnapshotError};
@@ -664,6 +665,16 @@ pub fn run_resumable<S: CheckpointState>(
         state.restore_from(&checkpoint)?;
         start = checkpoint.done();
     }
+    // Announce the run's extent before streaming: progress sinks need
+    // the total (and the resume offset) to show percentages and ETA.
+    session.obs().event(
+        EVT_SWEEP_TOTAL,
+        &[
+            ("sweep", AttrValue::Str(sweep.label())),
+            ("total", AttrValue::U64(total as u64)),
+            ("start", AttrValue::U64(start as u64)),
+        ],
+    );
     let pending_riders = riders.into_iter().skip(start.saturating_sub(sweep.len()));
     let mut saves = 0;
     let delivered = session

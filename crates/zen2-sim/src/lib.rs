@@ -56,6 +56,11 @@
 //!   aggregator and the durable checkpoint files built from them, so a
 //!   paper-scale sweep interrupted at a shard boundary resumes with
 //!   byte-identical output (see `docs/SWEEPS.md`).
+//! * [`obs`] — the out-of-band telemetry facade ([`Recorder`]): session
+//!   runs report spans, counters, gauges, and progress events through
+//!   it; the sinks live in the `zen2-obs` crate, and results are
+//!   byte-identical with or without one attached (see
+//!   `docs/OBSERVABILITY.md`).
 
 pub mod ccx;
 pub mod checkpoint;
@@ -63,6 +68,7 @@ pub mod config;
 pub mod controller;
 pub mod cstate;
 pub mod methodology;
+pub mod obs;
 pub mod os;
 pub mod perf;
 pub mod power;
@@ -83,6 +89,7 @@ mod proptests;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSpec};
 pub use config::SimConfig;
+pub use obs::{Attr, AttrValue, Recorder, SpanId};
 pub use probe::{EventFilter, Measurement, Probe, ProbeSpec, Run, Window};
 pub use scenario::{Op, Scenario, ScenarioError, Step};
 pub use session::{Case, Session, SessionError, SessionErrorKind, StreamControl, StreamEvent};

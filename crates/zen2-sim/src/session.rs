@@ -40,13 +40,17 @@
 //! ```
 
 use crate::config::SimConfig;
+use crate::obs::{
+    self, AttrValue, Obs, Recorder, SpanId, CTR_CACHE_EVICT, CTR_CACHE_HIT, CTR_CACHE_MISS,
+    CTR_CASES_DONE, GAUGE_CACHE_LEN, OBS_SHARD_CASES,
+};
 use crate::probe::Run;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::system::System;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One unit of batch work: a machine configuration, a scenario, and the
 /// boot seed.
@@ -70,11 +74,23 @@ impl Case {
 }
 
 /// A batch runner with a fixed worker pool.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Session {
     workers: usize,
     shard: usize,
     reuse_boots: bool,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("workers", &self.workers)
+            .field("shard", &self.shard)
+            .field("reuse_boots", &self.reuse_boots)
+            .field("recorder", &self.recorder.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl Default for Session {
@@ -92,7 +108,7 @@ impl Session {
     /// A session sized to the host's available parallelism.
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self { workers, shard: 16, reuse_boots: true }
+        Self { workers, shard: 16, reuse_boots: true, recorder: None }
     }
 
     /// Sets the worker count (results do not depend on it). Zero is
@@ -117,6 +133,22 @@ impl Session {
     pub fn reuse_boots(mut self, reuse: bool) -> Self {
         self.reuse_boots = reuse;
         self
+    }
+
+    /// Attaches a telemetry sink: every run reports spans, counters,
+    /// gauges, and events through it (see [`obs`](crate::obs) for the
+    /// schema). Telemetry is strictly out-of-band — results are
+    /// byte-identical with or without a recorder, under any
+    /// worker/shard split.
+    pub fn recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The borrowed telemetry handle of this session (disabled when no
+    /// recorder is attached).
+    pub(crate) fn obs(&self) -> Obs<'_> {
+        Obs::new(self.recorder.as_deref())
     }
 
     /// Validates every case, then executes the batch across the worker
@@ -246,6 +278,9 @@ impl Session {
         for case in cases {
             validate_case(case)?;
         }
+        let obs = self.obs();
+        let batch_span =
+            obs.open(None, obs::SPAN_BATCH, &[("cases", AttrValue::U64(cases.len() as u64))]);
 
         // One booted prototype per configuration that is actually shared
         // (booting a prototype for a config used once would cost more
@@ -270,13 +305,24 @@ impl Session {
             }
             for ((slot, &cfg), &n) in prototypes.iter_mut().zip(&distinct).zip(&uses) {
                 if n > 1 {
+                    let boot = obs.open(
+                        batch_span,
+                        obs::SPAN_BOOT,
+                        &[("prototype", AttrValue::Bool(true))],
+                    );
                     *slot = Some(System::new(cfg.clone(), 0));
+                    obs.close(boot);
                 }
             }
         }
 
         let protos: Vec<Option<&System>> = keys.iter().map(|&k| prototypes[k].as_ref()).collect();
-        let outcomes = pool_outcomes(cases, &protos, self.workers, &execute);
+        let hits = protos.iter().filter(|p| p.is_some()).count() as u64;
+        obs.counter(CTR_CACHE_HIT, hits);
+        obs.counter(CTR_CACHE_MISS, cases.len() as u64 - hits);
+        let outcomes = pool_outcomes(cases, &protos, self.workers, &execute, obs, batch_span, 0);
+        obs.counter(CTR_CASES_DONE, cases.len() as u64);
+        obs.close(batch_span);
 
         let mut runs = Vec::with_capacity(cases.len());
         for (case, outcome) in cases.iter().zip(outcomes) {
@@ -338,6 +384,18 @@ impl Session {
         let mut iter = cases.into_iter();
         let mut cache = PrototypeCache::new(PROTOTYPE_CACHE_CAP);
         let mut delivered = 0usize;
+        let obs = self.obs();
+        // On error paths (`?`) the open spans are deliberately left
+        // unclosed: the run is aborting, and sinks tolerate it.
+        let sweep_span = obs.open(
+            None,
+            obs::SPAN_SWEEP,
+            &[
+                ("first_index", AttrValue::U64(first_index as u64)),
+                ("workers", AttrValue::U64(self.workers as u64)),
+                ("shard_size", AttrValue::U64(self.shard as u64)),
+            ],
+        );
         // Forwards one event, attributing a callback failure to `at`.
         let mut notify = |event: StreamEvent, at: &str| -> Result<StreamControl, SessionError> {
             on_event(event).map_err(|message| SessionError {
@@ -348,24 +406,54 @@ impl Session {
         loop {
             let shard_cases: Vec<Case> = iter.by_ref().take(group).collect();
             if shard_cases.is_empty() {
+                obs.close(sweep_span);
                 return Ok(delivered);
             }
             for case in &shard_cases {
                 validate_case(case)?;
             }
+            let shard_span = obs.open(
+                sweep_span,
+                obs::SPAN_SHARD,
+                &[
+                    ("first", AttrValue::U64((first_index + delivered) as u64)),
+                    ("cases", AttrValue::U64(shard_cases.len() as u64)),
+                ],
+            );
+            obs.observe(OBS_SHARD_CASES, shard_cases.len() as f64);
             if self.reuse_boots {
-                cache.prepare(&shard_cases);
+                cache.prepare(&shard_cases, obs, shard_span);
             }
             let protos: Vec<Option<&System>> =
                 shard_cases.iter().map(|case| cache.get(&case.config)).collect();
-            let outcomes = pool_outcomes(&shard_cases, &protos, self.workers, &execute);
+            let hits = protos.iter().filter(|p| p.is_some()).count() as u64;
+            obs.counter(CTR_CACHE_HIT, hits);
+            obs.counter(CTR_CACHE_MISS, shard_cases.len() as u64 - hits);
+            let outcomes = pool_outcomes(
+                &shard_cases,
+                &protos,
+                self.workers,
+                &execute,
+                obs,
+                shard_span,
+                first_index + delivered,
+            );
             for (case, outcome) in shard_cases.iter().zip(outcomes) {
                 match outcome {
                     Ok(run) => {
-                        let event = StreamEvent::Run { index: first_index + delivered, run };
-                        let control = notify(event, &case.label)?;
+                        let index = first_index + delivered;
+                        let reduce_span = obs.open(
+                            shard_span,
+                            obs::SPAN_REDUCE,
+                            &[("index", AttrValue::U64(index as u64))],
+                        );
+                        let control = notify(StreamEvent::Run { index, run }, &case.label)?;
+                        obs.close(reduce_span);
+                        obs.counter(CTR_CASES_DONE, 1);
                         delivered += 1;
                         if matches!(control, StreamControl::Halt) {
+                            obs.close(shard_span);
+                            obs.close(sweep_span);
                             return Ok(delivered);
                         }
                     }
@@ -379,7 +467,16 @@ impl Session {
             }
             let next = first_index + delivered;
             let boundary = StreamEvent::ShardBoundary { next };
-            if let StreamControl::Halt = notify(boundary, &format!("shard boundary at {next}"))? {
+            let checkpoint_span = obs.open(
+                shard_span,
+                obs::SPAN_CHECKPOINT,
+                &[("next", AttrValue::U64(next as u64))],
+            );
+            let control = notify(boundary, &format!("shard boundary at {next}"))?;
+            obs.close(checkpoint_span);
+            obs.close(shard_span);
+            if let StreamControl::Halt = control {
+                obs.close(sweep_span);
                 return Ok(delivered);
             }
         }
@@ -428,11 +525,16 @@ fn validate_case(case: &Case) -> Result<(), SessionError> {
 /// Executes every case across a worker pool, forking from the per-case
 /// prototype where one is given, and returns each case's outcome in case
 /// order. Panicking cases are contained and reported as `Err` outcomes.
+/// Each case reports a `case` span (with `fork`/`boot` and `sim` child
+/// phases) through `obs`, indexed globally from `base_index`.
 fn pool_outcomes(
     cases: &[Case],
     protos: &[Option<&System>],
     workers: usize,
     execute: &(impl Fn(&mut System, &Case) -> Run + Sync),
+    obs: Obs<'_>,
+    parent: Option<SpanId>,
+    base_index: usize,
 ) -> Vec<Result<Run, String>> {
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<Result<Run, String>>>> =
@@ -440,27 +542,52 @@ fn pool_outcomes(
     let workers = workers.min(cases.len()).max(1);
     let results_ref = &results;
     let next_ref = &next;
+    let pool_span = obs.open(
+        parent,
+        obs::SPAN_POOL,
+        &[
+            ("cases", AttrValue::U64(cases.len() as u64)),
+            ("workers", AttrValue::U64(workers as u64)),
+        ],
+    );
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            scope.spawn(move || loop {
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= cases.len() {
                     break;
                 }
                 let case = &cases[i];
+                let case_span = obs.open(
+                    pool_span,
+                    obs::SPAN_CASE,
+                    &[
+                        ("index", AttrValue::U64((base_index + i) as u64)),
+                        ("label", AttrValue::Str(&case.label)),
+                        ("worker", AttrValue::U64(w as u64)),
+                        ("cached", AttrValue::Bool(protos[i].is_some())),
+                    ],
+                );
                 // Contain a panicking case: record it against slot `i`
                 // and keep the worker alive for the remaining cases,
                 // instead of letting the unwind cross the scope and
                 // cascade into unrelated cases.
                 let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let phase = if protos[i].is_some() { obs::SPAN_FORK } else { obs::SPAN_BOOT };
+                    let boot_span = obs.open(case_span, phase, &[]);
                     let mut sys = match protos[i] {
                         Some(proto) => proto.fork(case.seed),
                         None => System::new(case.config.clone(), case.seed),
                     };
-                    execute(&mut sys, case)
+                    obs.close(boot_span);
+                    let sim_span = obs.open(case_span, obs::SPAN_SIM, &[]);
+                    let run = execute(&mut sys, case);
+                    obs.close(sim_span);
+                    run
                 }))
                 .map_err(|payload| panic_text(payload.as_ref()));
+                obs.close(case_span);
                 // Nothing here can poison the slot (the fallible work
                 // all sits inside the catch above), but stay robust.
                 let mut slot = match results_ref[i].lock() {
@@ -471,6 +598,7 @@ fn pool_outcomes(
             });
         }
     });
+    obs.close(pool_span);
 
     results
         .into_iter()
@@ -507,8 +635,10 @@ impl PrototypeCache {
     /// cached entry is in use by this shard, the new configuration is
     /// not booted at all — its cases fall back to per-case boots rather
     /// than thrashing the cache with prototypes that would be evicted
-    /// before anything forks them.
-    fn prepare(&mut self, cases: &[Case]) {
+    /// before anything forks them. Evictions and prototype boots are
+    /// reported through `obs` (`cache.evict`, `boot` spans under
+    /// `parent`, and the `cache.len` occupancy gauge).
+    fn prepare(&mut self, cases: &[Case], obs: Obs<'_>, parent: Option<SpanId>) {
         let mut distinct: Vec<(&SimConfig, usize)> = Vec::new();
         for case in cases {
             match distinct.iter_mut().find(|(c, _)| **c == case.config) {
@@ -539,14 +669,19 @@ impl PrototypeCache {
                 match stalest {
                     Some(i) => {
                         self.entries.swap_remove(i);
+                        obs.counter(CTR_CACHE_EVICT, 1);
                     }
                     // Every slot is hot this shard: booting would only
                     // displace a prototype that is about to be forked.
                     None => continue,
                 }
             }
+            let boot_span =
+                obs.open(parent, obs::SPAN_BOOT, &[("prototype", AttrValue::Bool(true))]);
             self.entries.push((config.clone(), System::new(config.clone(), 0), tick));
+            obs.close(boot_span);
         }
+        obs.gauge(GAUGE_CACHE_LEN, self.entries.len() as f64);
     }
 
     fn get(&self, config: &SimConfig) -> Option<&System> {
@@ -785,14 +920,14 @@ mod tests {
         let mut c = a.clone();
         c.controller.deadband_w += 2.0;
         let shard = |cfg: &SimConfig| vec![case_with(cfg, "x"), case_with(cfg, "y")];
-        cache.prepare(&shard(&a));
+        cache.prepare(&shard(&a), Obs::off(), None);
         assert!(cache.get(&a).is_some());
         // A config used once is not worth booting a prototype for...
-        cache.prepare(&[case_with(&b, "solo")]);
+        cache.prepare(&[case_with(&b, "solo")], Obs::off(), None);
         assert!(cache.get(&b).is_none());
         // ...but shared configs are cached, and capacity evicts the LRU.
-        cache.prepare(&shard(&b));
-        cache.prepare(&shard(&c));
+        cache.prepare(&shard(&b), Obs::off(), None);
+        cache.prepare(&shard(&c), Obs::off(), None);
         assert!(cache.get(&a).is_none(), "stale entry evicted at capacity");
         assert!(cache.get(&b).is_some());
         assert!(cache.get(&c).is_some());
@@ -814,7 +949,7 @@ mod tests {
         }
         let shard: Vec<Case> =
             configs.iter().flat_map(|c| [case_with(c, "x"), case_with(c, "y")]).collect();
-        cache.prepare(&shard);
+        cache.prepare(&shard, Obs::off(), None);
         assert!(cache.get(&configs[0]).is_some());
         assert!(cache.get(&configs[1]).is_some());
         assert!(cache.get(&configs[2]).is_none(), "overflow config must not thrash the cache");

@@ -35,6 +35,7 @@
 //! ```
 
 use crate::config::SimConfig;
+use crate::obs::{AttrValue, EVT_SWEEP_TOTAL};
 use crate::probe::Run;
 use crate::scenario::Scenario;
 use crate::session::{Case, Session, SessionError, StreamControl, StreamEvent};
@@ -370,6 +371,7 @@ impl Sweep {
         start: usize,
         on_event: impl FnMut(StreamEvent) -> Result<StreamControl, String>,
     ) -> Result<usize, SessionError> {
+        self.announce(session, start);
         session.run_streaming_checkpointed(start, self.skip(start), on_event)
     }
 
@@ -382,7 +384,23 @@ impl Sweep {
         session: &Session,
         sink: impl FnMut(usize, Run),
     ) -> Result<usize, SessionError> {
+        self.announce(session, 0);
         session.run_streaming(self.cases(), sink)
+    }
+
+    /// Emits the [`EVT_SWEEP_TOTAL`] progress event for a run of this
+    /// grid starting at case `start` — what a progress sink needs for
+    /// percentages and ETA. ([`run_resumable`](crate::checkpoint::run_resumable)
+    /// announces its grid-plus-riders total itself.)
+    fn announce(&self, session: &Session, start: usize) {
+        session.obs().event(
+            EVT_SWEEP_TOTAL,
+            &[
+                ("sweep", AttrValue::Str(self.label())),
+                ("total", AttrValue::U64(self.len() as u64)),
+                ("start", AttrValue::U64(start as u64)),
+            ],
+        );
     }
 }
 
