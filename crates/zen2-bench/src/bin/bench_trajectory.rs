@@ -1,16 +1,24 @@
 //! Sweep-throughput trajectory point: times the representative
 //! `bench_sweep` grids once each (10^3 and 10^4 cases in both execution
 //! styles, 10^5 streaming-only — materializing that grid would defeat
-//! the bounded-memory point) and writes `BENCH_8.json` at the workspace
+//! the bounded-memory point) and writes `BENCH_9.json` at the workspace
 //! root — the next point in the `BENCH_*.json` history the ROADMAP's
 //! perf trajectory accumulates PR over PR.
 //!
-//! New over `BENCH_7.json`: the telemetry phase timers. A second 10^5
-//! streaming run executes with a span recorder attached, breaking the
-//! per-case cost into the engine's phases (fork, sim, reduce,
-//! checkpoint, …), and a dedicated kernel grid reports per-case sim
-//! cost for the hottest simulator kernels — the numbers that tell the
-//! next optimization PR where the time actually goes.
+//! New over `BENCH_8.json`: the torture point. A 10^4-case seeded
+//! random-scenario soak (`zen2_sim::torture`) streams through the same
+//! worker pool with the full invariant audit on every run — generated
+//! scenarios are far heavier than the uniform throughput grid (multi-
+//! step timelines, trace probes, snapshot round-trips), so this is the
+//! worst-case cases/sec figure and the budget the CI `torture-smoke`
+//! step is sized against.
+//!
+//! Also carried from `BENCH_8.json`: the telemetry phase timers. A
+//! second 10^5 streaming run executes with a span recorder attached,
+//! breaking the per-case cost into the engine's phases (fork, sim,
+//! reduce, checkpoint, …), and a dedicated kernel grid reports per-case
+//! sim cost for the hottest simulator kernels — the numbers that tell
+//! the next optimization PR where the time actually goes.
 //!
 //! ```sh
 //! cargo run --release -p zen2-bench --bin bench_trajectory
@@ -97,6 +105,24 @@ struct Point {
     cases: usize,
     style: &'static str,
     cases_per_sec: f64,
+}
+
+/// Torture throughput: seeded random scenarios streamed through the
+/// worker pool with the full invariant audit on every run — generation,
+/// simulation, and checking all on the clock.
+fn measure_torture(cases: usize) -> Point {
+    let session = Session::new().workers(WORKERS).shard_size(SHARD);
+    let t = clock::now_ns();
+    let mut violations = 0usize;
+    let n = session
+        .run_streaming(zen2_sim::torture::cases(1, cases as u64), |i, run| {
+            let case = zen2_sim::torture::generate_case(1, i as u64);
+            violations += zen2_sim::torture::check_case(&case, &run).len();
+        })
+        .expect("generated cases validate");
+    assert_eq!(n, cases);
+    assert_eq!(violations, 0, "torture bench found invariant violations");
+    Point { cases, style: "torture", cases_per_sec: cases as f64 / clock::secs_since(t) }
 }
 
 fn measure(cases: usize, with_materialized: bool) -> Vec<Point> {
@@ -240,6 +266,9 @@ fn main() {
     eprintln!("timing 100000-case grid (streaming only)…");
     points.extend(measure(100_000, false));
 
+    eprintln!("timing 10000-case torture soak (generation + audit)…");
+    points.push(measure_torture(10_000));
+
     eprintln!("profiling 100000-case streaming run (phase timers)…");
     let phase_cases = 100_000usize;
     let phases = profile(grid(phase_cases));
@@ -290,7 +319,7 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    fs::write("BENCH_8.json", &out).expect("write BENCH_8.json");
+    fs::write("BENCH_9.json", &out).expect("write BENCH_9.json");
     print!("{out}");
-    eprintln!("wrote BENCH_8.json");
+    eprintln!("wrote BENCH_9.json");
 }

@@ -61,6 +61,9 @@
 //!   it; the sinks live in the `zen2-obs` crate, and results are
 //!   byte-identical with or without one attached (see
 //!   `docs/OBSERVABILITY.md`).
+//! * [`torture`] — the seeded random-scenario fuzzer and physics-invariant
+//!   checker behind the `torture` soak bin and the proptest suite (see
+//!   `docs/TORTURE.md`).
 
 pub mod ccx;
 pub mod checkpoint;
@@ -81,6 +84,7 @@ pub mod stats;
 pub mod sweep;
 pub mod system;
 pub mod time;
+pub mod torture;
 pub mod trace;
 pub mod wakeup;
 

@@ -24,7 +24,7 @@ use crate::probe::{
     EventFilter, Measurement, Probe, ProbeSpec, RaplWindow, Run, Window, MAX_WINDOW_NS,
 };
 use crate::system::System;
-use crate::time::{from_secs, to_secs, Ns};
+use crate::time::{from_secs, to_secs, Ns, MILLISECOND};
 use serde::Serialize;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -223,6 +223,13 @@ impl Scenario {
         &self.probes
     }
 
+    /// The explicit minimum run length set through
+    /// [`run_until`](Self::run_until), ns (0 when never set). The
+    /// scenario may still run longer — see [`end`](Self::end).
+    pub fn run_until_ns(&self) -> Ns {
+        self.run_until
+    }
+
     /// Total scenario length: the furthest step, window edge, or
     /// [`run_until`](Self::run_until) point.
     pub fn end(&self) -> Ns {
@@ -391,6 +398,23 @@ impl Scenario {
                 Probe::StreamTriadGbs(cores) if cores > num_cores => {
                     return Err(ScenarioError::CoreOutOfRange { core: cores, num_cores });
                 }
+                Probe::AcMeteredW => {
+                    // `metered_mean_w` averages LMG670 samples over the
+                    // inner 80 % of the window and panics when none land
+                    // there; samples arrive at `from + k*period`. Require
+                    // a sample at least 1 ms inside the trimmed region so
+                    // float rounding in the seconds-domain comparison can
+                    // never starve the mean at runtime.
+                    let len = w.to - w.from;
+                    let period = from_secs(zen2_power::PowerMeter::lmg670().period_s());
+                    let k = ((len + 10 * MILLISECOND).div_ceil(10 * period)).max(1);
+                    let t = k * period;
+                    if t > len || 10 * t + 10 * MILLISECOND > 9 * len {
+                        return Err(ScenarioError::MeterWindowTooShort {
+                            label: spec.label.clone(),
+                        });
+                    }
+                }
                 Probe::TraceEvents(filter) => match filter {
                     EventFilter::Freq(core) => {
                         if core.0 >= num_cores {
@@ -555,6 +579,13 @@ pub enum ScenarioError {
         /// The scenario end, ns.
         end: Ns,
     },
+    /// An [`AcMeteredW`](Probe::AcMeteredW) window too short for the
+    /// LMG670's 50 ms sample period to land a sample inside the inner
+    /// 80 % of the window (the mean would have nothing to average).
+    MeterWindowTooShort {
+        /// The offending probe's label.
+        label: String,
+    },
 }
 
 /// Most samples any single probe may take across its window.
@@ -606,6 +637,13 @@ impl fmt::Display for ScenarioError {
                     f,
                     "scenario runs to {end} ns, beyond the {MAX_WINDOW_NS} ns cap \
                      (nanoseconds/seconds mix-up?)"
+                )
+            }
+            Self::MeterWindowTooShort { label } => {
+                write!(
+                    f,
+                    "probe {label:?}: window too short for a 50 ms meter sample to land \
+                     in its inner 80 % (needs roughly 57 ms or more)"
                 )
             }
         }
@@ -851,5 +889,192 @@ impl System {
             final_ac_w: self.ac_power_w(),
             measurements,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::MAX_WINDOW_NS;
+    use crate::time::SECOND;
+    use zen2_topology::{CoreId, SocketId};
+
+    fn cfg() -> SimConfig {
+        SimConfig::epyc_7502_2s()
+    }
+
+    // One test per ScenarioError variant: every rejection path the
+    // torture generator's invalid-proposal catalog relies on is pinned
+    // here in its most direct form.
+
+    #[test]
+    fn rejects_thread_out_of_range() {
+        let mut sc = Scenario::new();
+        sc.at(0).idle(ThreadId(128));
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::ThreadOutOfRange { thread: ThreadId(128), num_threads: 128 })
+        ));
+    }
+
+    #[test]
+    fn rejects_core_out_of_range() {
+        let mut sc = Scenario::new();
+        sc.probe("g", Probe::EffectiveGhz(CoreId(64)), Window::at(0));
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::CoreOutOfRange { core: 64, num_cores: 64 })
+        ));
+    }
+
+    #[test]
+    fn rejects_socket_out_of_range() {
+        let mut sc = Scenario::new();
+        sc.probe("p", Probe::PkgTrueW(SocketId(2)), Window::at(0));
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::SocketOutOfRange { socket: 2, num_sockets: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_pstate() {
+        let mut sc = Scenario::new();
+        sc.at(0).pstate(ThreadId(0), 1234);
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::UndefinedPstate { mhz: 1234 })));
+    }
+
+    #[test]
+    fn rejects_undefined_cstate() {
+        let mut sc = Scenario::new();
+        sc.at(0).cstate(ThreadId(0), 3, true);
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::UndefinedCstate { level: 3 })));
+    }
+
+    #[test]
+    fn rejects_workload_on_offline_thread_even_when_scheduled_out_of_order() {
+        let mut sc = Scenario::new();
+        // Inserted before the offlining step but scheduled after it: the
+        // validator replays in *time* order.
+        sc.at(2 * MILLISECOND).workload(ThreadId(5), KernelClass::BusyWait, OperandWeight::HALF);
+        sc.at(MILLISECOND).online(ThreadId(5), false);
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::ActionOnOfflineThread { thread: ThreadId(5), .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_probe_labels() {
+        let mut sc = Scenario::new();
+        sc.probe("x", Probe::AcPowerW, Window::at(0));
+        sc.probe("x", Probe::DramLatencyNs, Window::at(1));
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::DuplicateLabel { label }) if label == "x"
+        ));
+    }
+
+    #[test]
+    fn rejects_wakeup_probe_on_busy_callee() {
+        let mut sc = Scenario::new();
+        sc.at(0).workload(ThreadId(3), KernelClass::BusyWait, OperandWeight::HALF);
+        sc.probe(
+            "w",
+            Probe::WakeupSamples {
+                caller: ThreadId(0),
+                callee: ThreadId(3),
+                count: 1,
+                gap: MILLISECOND,
+            },
+            Window::span(0, 2 * MILLISECOND),
+        );
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::WakeupCalleeNotSleeping { .. })));
+    }
+
+    #[test]
+    fn rejects_backwards_window() {
+        let mut sc = Scenario::new();
+        sc.probe("b", Probe::AcTrueMeanW, Window { from: 2, to: 1 });
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::NegativeWindow { .. })));
+    }
+
+    #[test]
+    fn rejects_sampling_plan_overflowing_its_window() {
+        let mut sc = Scenario::new();
+        // 10 samples of 1 ms gap cannot fit a 5 ms window.
+        sc.probe(
+            "w",
+            Probe::WakeupSamples {
+                caller: ThreadId(0),
+                callee: ThreadId(1),
+                count: 10,
+                gap: MILLISECOND,
+            },
+            Window::span(0, 5 * MILLISECOND),
+        );
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::WindowOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_span_probe_with_instant_window() {
+        let mut sc = Scenario::new();
+        sc.probe("m", Probe::AcTrueMeanW, Window::at(SECOND));
+        assert!(matches!(
+            sc.validate(&cfg()),
+            Err(ScenarioError::WindowShapeMismatch { instant_probe: false, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_sampling_interval() {
+        let mut sc = Scenario::new();
+        sc.probe(
+            "s",
+            Probe::CounterSeries { thread: ThreadId(0), every: 0 },
+            Window::span(0, MILLISECOND),
+        );
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::ZeroInterval { .. })));
+    }
+
+    #[test]
+    fn rejects_oversized_sampling_plan() {
+        let mut sc = Scenario::new();
+        sc.probe(
+            "s",
+            Probe::CounterSeries { thread: ThreadId(0), every: 1 },
+            Window::span(0, 100 * MILLISECOND),
+        );
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::SamplingPlanTooLarge { .. })));
+    }
+
+    #[test]
+    fn rejects_scenario_beyond_the_time_cap() {
+        let mut sc = Scenario::new();
+        sc.run_until(MAX_WINDOW_NS + 1);
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::ScenarioTooLong { .. })));
+    }
+
+    #[test]
+    fn rejects_metered_mean_over_a_sample_starved_window() {
+        // 56 ms holds one 50 ms sample, but outside the inner 80 %.
+        let mut sc = Scenario::new();
+        sc.probe("m", Probe::AcMeteredW, Window::span(0, 56 * MILLISECOND));
+        assert!(matches!(sc.validate(&cfg()), Err(ScenarioError::MeterWindowTooShort { .. })));
+        // 120 ms (the generator's floor) is comfortably enough.
+        let mut ok = Scenario::new();
+        ok.probe("m", Probe::AcMeteredW, Window::span(0, 120 * MILLISECOND));
+        assert!(ok.validate(&cfg()).is_ok());
+    }
+
+    #[test]
+    fn run_until_is_a_minimum_not_a_cap() {
+        let mut sc = Scenario::new();
+        sc.run_until(MILLISECOND);
+        sc.at(5 * MILLISECOND).preheat();
+        sc.probe("tail", Probe::AcPowerW, Window::at(7 * MILLISECOND));
+        assert_eq!(sc.run_until_ns(), MILLISECOND);
+        assert_eq!(sc.end(), 7 * MILLISECOND);
+        assert!(sc.validate(&cfg()).is_ok(), "steps after run_until are legal");
     }
 }

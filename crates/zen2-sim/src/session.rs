@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex};
 
 /// One unit of batch work: a machine configuration, a scenario, and the
 /// boot seed.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Case {
     /// Human-readable identifier, reported in errors.
     pub label: String,
@@ -136,7 +136,7 @@ impl Session {
     }
 
     /// Attaches a telemetry sink: every run reports spans, counters,
-    /// gauges, and events through it (see [`obs`](crate::obs) for the
+    /// gauges, and events through it (see [`obs`] for the
     /// schema). Telemetry is strictly out-of-band — results are
     /// byte-identical with or without a recorder, under any
     /// worker/shard split.
