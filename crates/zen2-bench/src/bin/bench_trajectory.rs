@@ -1,11 +1,19 @@
 //! Sweep-throughput trajectory point: times the representative
 //! `bench_sweep` grids once each (10^3 and 10^4 cases in both execution
 //! styles, 10^5 streaming-only — materializing that grid would defeat
-//! the bounded-memory point) and writes `BENCH_9.json` at the workspace
-//! root — the next point in the `BENCH_*.json` history the ROADMAP's
-//! perf trajectory accumulates PR over PR.
+//! the bounded-memory point) and writes `BENCH_10.json` at the
+//! workspace root — the next point in the `BENCH_*.json` history the
+//! ROADMAP's perf trajectory accumulates PR over PR.
 //!
-//! New over `BENCH_8.json`: the torture point. A 10^4-case seeded
+//! New over `BENCH_9.json`: the fleet point. The 10^5-case grid runs
+//! once as a single checkpointed process and once split `--shard-range`
+//! style over three OS processes (the bench re-execs itself per shard),
+//! whose range checkpoints are then merged with `Checkpoint::merge` —
+//! wall-clock for both layouts plus the merge cost itself go on the
+//! record, and the merged checkpoint is asserted byte-identical to the
+//! single-process file while we're at it.
+//!
+//! Carried from `BENCH_9.json`: the torture point. A 10^4-case seeded
 //! random-scenario soak (`zen2_sim::torture`) streams through the same
 //! worker pool with the full invariant audit on every run — generated
 //! scenarios are far heavier than the uniform throughput grid (multi-
@@ -32,14 +40,19 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use zen2_isa::{KernelClass, OperandWeight};
 use zen2_obs::clock;
+use zen2_sim::checkpoint::{run_resumable, CheckpointState};
 use zen2_sim::obs::{Attr, AttrValue, Recorder, SpanId, SPAN_CASE, SPAN_SIM};
 use zen2_sim::stats::OnlineStats;
 use zen2_sim::time::MICROSECOND;
-use zen2_sim::{Axis, Case, Probe, Session, SimConfig, Sweep, Window};
+use zen2_sim::{
+    Axis, Case, Checkpoint, CheckpointError, CheckpointSpec, GroupedStats, Probe, Run, Session,
+    ShardRange, SimConfig, Sweep, Window,
+};
 use zen2_topology::ThreadId;
 
 const WORKERS: usize = 4;
@@ -105,6 +118,111 @@ struct Point {
     cases: usize,
     style: &'static str,
     cases_per_sec: f64,
+}
+
+/// The fleet point's accumulator bundle: a per-cell grouped reduction
+/// keyed by every axis, the layout the experiment modules use — grouped
+/// rows merge at the file level, whereas a whole-grid *single*
+/// accumulator would straddle the shard cuts and force the typed
+/// `Merge` escape hatch.
+struct AcGrid(GroupedStats<OnlineStats>);
+
+impl CheckpointState for AcGrid {
+    fn save_into(&self, checkpoint: &mut Checkpoint) {
+        checkpoint.set_grouped("ac", &self.0);
+    }
+    fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+        self.0 = checkpoint.grouped("ac", &self.0)?;
+        Ok(())
+    }
+    fn fold(&mut self, index: usize, run: Run) {
+        self.0.entry(index).push(run.watts("ac"));
+    }
+}
+
+/// Cases in the fleet-point grid (the 10^5 streaming grid above).
+const FLEET_CASES: usize = 100_000;
+/// Processes the fleet layout splits the grid over.
+const FLEET_PROCESSES: usize = 3;
+/// Streaming shard size for the fleet point: with 10^5 grouped rows a
+/// checkpoint save is O(rows), so the boundary cadence is sized to the
+/// grid (one save per 10^4 cases) rather than the default 64-case
+/// groups — the granularity knob `docs/SWEEPS.md` tells real runs to
+/// turn for exactly this reason.
+const FLEET_SHARD: usize = 2_500;
+
+/// Runs one `--shard-range`-style slice of the fleet grid to a range
+/// checkpoint — the child-process body of the fleet point (and, with a
+/// `0/1` range, the single-process baseline).
+fn run_fleet_shard(spec: &CheckpointSpec) {
+    let sweep = grid(FLEET_CASES);
+    let session = Session::new().workers(WORKERS).shard_size(FLEET_SHARD);
+    let mut state = AcGrid(GroupedStats::new(&sweep, &["busy_threads", "rep"]));
+    run_resumable(&sweep, vec![], &session, spec, &mut state).expect("bench grid checkpoints");
+}
+
+struct FleetPoint {
+    single_process_s: f64,
+    fleet_s: f64,
+    merge_ms: f64,
+}
+
+/// Times the 10^5 grid single-process vs split over three OS processes
+/// (re-execing this binary per shard), then times merging the range
+/// checkpoints and asserts the merged file is byte-identical to the
+/// single-process one.
+fn measure_fleet() -> FleetPoint {
+    let tmp = |tag: &str| {
+        std::env::temp_dir().join(format!("zen2-bench-fleet-{tag}-{}", std::process::id()))
+    };
+    let single = tmp("single");
+    let t = clock::now_ns();
+    run_fleet_shard(&CheckpointSpec {
+        shard: Some(ShardRange { index: 0, of: 1 }),
+        ..CheckpointSpec::at(&single)
+    });
+    let single_process_s = clock::secs_since(t);
+
+    let exe = std::env::current_exe().expect("bench locates itself");
+    let shard_paths: Vec<PathBuf> =
+        (0..FLEET_PROCESSES).map(|i| tmp(&format!("shard{i}"))).collect();
+    let t = clock::now_ns();
+    let children: Vec<_> = shard_paths
+        .iter()
+        .enumerate()
+        .map(|(i, path)| {
+            std::process::Command::new(&exe)
+                .arg("--fleet-shard")
+                .arg(format!("{i}/{FLEET_PROCESSES}"))
+                .arg(path)
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("shard process spawns")
+        })
+        .collect();
+    for mut child in children {
+        assert!(child.wait().expect("shard process reaps").success(), "shard process failed");
+    }
+    let fleet_s = clock::secs_since(t);
+
+    let t = clock::now_ns();
+    let mut merged = Checkpoint::load(&shard_paths[0]).expect("shard 0 checkpoint loads");
+    for path in &shard_paths[1..] {
+        let shard = Checkpoint::load(path).expect("shard checkpoint loads");
+        merged.merge(&shard).expect("adjacent shards merge");
+    }
+    let merge_ms = clock::secs_since(t) * 1e3;
+    assert!(merged.is_complete(), "merged fleet checkpoint covers {:?}", merged.covered());
+
+    let merged_path = tmp("merged");
+    merged.save(&merged_path).expect("merged checkpoint saves");
+    let merged_bytes = fs::read_to_string(&merged_path).expect("merged checkpoint reads");
+    let single_bytes = fs::read_to_string(&single).expect("single checkpoint reads");
+    assert_eq!(merged_bytes, single_bytes, "fleet merge is not byte-identical");
+    for path in shard_paths.iter().chain([&single, &merged_path]) {
+        let _ = fs::remove_file(path);
+    }
+    FleetPoint { single_process_s, fleet_s, merge_ms }
 }
 
 /// Torture throughput: seeded random scenarios streamed through the
@@ -258,6 +376,16 @@ fn profile(sweep: Sweep) -> PhaseState {
 }
 
 fn main() {
+    // Child mode: `--fleet-shard i/N <path>` runs one slice of the
+    // fleet grid to a range checkpoint and exits (see measure_fleet).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--fleet-shard") {
+        let range = ShardRange::parse(&args[pos + 1]).expect("--fleet-shard wants i/N");
+        let path = PathBuf::from(&args[pos + 2]);
+        run_fleet_shard(&CheckpointSpec { shard: Some(range), ..CheckpointSpec::at(&path) });
+        return;
+    }
+
     let mut points = Vec::new();
     for cases in [1_000usize, 10_000] {
         eprintln!("timing {cases}-case grid…");
@@ -268,6 +396,9 @@ fn main() {
 
     eprintln!("timing 10000-case torture soak (generation + audit)…");
     points.push(measure_torture(10_000));
+
+    eprintln!("timing {FLEET_CASES}-case fleet split (1 vs {FLEET_PROCESSES} processes + merge)…");
+    let fleet = measure_fleet();
 
     eprintln!("profiling 100000-case streaming run (phase timers)…");
     let phase_cases = 100_000usize;
@@ -292,6 +423,13 @@ fn main() {
         );
     }
     out.push_str("  ],\n");
+    out.push_str("  \"fleet\": {\n");
+    let _ = writeln!(out, "    \"cases\": {FLEET_CASES},");
+    let _ = writeln!(out, "    \"processes\": {FLEET_PROCESSES},");
+    let _ = writeln!(out, "    \"single_process_s\": {:.2},", fleet.single_process_s);
+    let _ = writeln!(out, "    \"fleet_s\": {:.2},", fleet.fleet_s);
+    let _ = writeln!(out, "    \"merge_ms\": {:.2}", fleet.merge_ms);
+    out.push_str("  },\n");
     let _ = writeln!(out, "  \"phases_cases\": {phase_cases},");
     out.push_str("  \"phases\": [\n");
     for (i, (name, acc)) in phases.phases.iter().enumerate() {
@@ -319,7 +457,7 @@ fn main() {
     }
     out.push_str("  ]\n}\n");
 
-    fs::write("BENCH_9.json", &out).expect("write BENCH_9.json");
+    fs::write("BENCH_10.json", &out).expect("write BENCH_10.json");
     print!("{out}");
-    eprintln!("wrote BENCH_9.json");
+    eprintln!("wrote BENCH_10.json");
 }

@@ -36,6 +36,16 @@ fn checkpointed<R>(name: &str, outcome: Result<Option<R>, CheckpointError>) -> R
     }
 }
 
+/// The `--shard-range` counterpart of [`checkpointed`]: a shard run
+/// only feeds its range checkpoint, so the result is usually absent and
+/// only checkpoint failures matter.
+fn sharded<R>(name: &str, outcome: Result<Option<R>, CheckpointError>) {
+    if let Err(error) = outcome {
+        eprintln!("all: {name}: {error}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
@@ -58,6 +68,96 @@ fn main() {
             eprintln!("all: running {name}");
         }
     };
+    // Fleet mode: a `--shard-range` run folds only the wide grids' slice
+    // of cases into their range checkpoints and stops — no narrow
+    // experiments, no report. `zen2-fleet` merges the shards and re-runs
+    // `all` (without a shard) to emit the full suite.
+    if let Some(shard) = ckpt.shard {
+        announce("tab1");
+        sharded(
+            "tab1",
+            e::tab1_mixed_freq::run_checkpointed(
+                &e::tab1_mixed_freq::Config::new(scale),
+                2,
+                &session,
+                &ckpt.spec_for("tab1"),
+            ),
+        );
+        announce("fig06");
+        sharded(
+            "fig06",
+            e::fig06_firestarter::run_checkpointed(
+                &e::fig06_firestarter::Config::new(scale),
+                5,
+                &session,
+                &ckpt.spec_for("fig06"),
+            ),
+        );
+        announce("fig07");
+        sharded(
+            "fig07",
+            e::fig07_idle_power::run_checkpointed(
+                &e::fig07_idle_power::Config::new(scale),
+                6,
+                &session,
+                &ckpt.spec_for("fig07"),
+            ),
+        );
+        announce("fig09");
+        sharded(
+            "fig09",
+            e::fig09_rapl_quality::run_checkpointed(
+                &e::fig09_rapl_quality::Config::new(scale),
+                8,
+                &session,
+                &ckpt.spec_for("fig09"),
+            ),
+        );
+        let f10 = e::fig10_hamming::Config::new(scale);
+        announce("fig10-vxorps");
+        sharded(
+            "fig10-vxorps",
+            e::fig10_hamming::run_checkpointed(
+                &f10,
+                9,
+                KernelClass::VXorps,
+                &session,
+                &ckpt.spec_for("fig10-vxorps"),
+            ),
+        );
+        announce("fig10-shr");
+        sharded(
+            "fig10-shr",
+            e::fig10_hamming::run_checkpointed(
+                &f10,
+                10,
+                KernelClass::Shr,
+                &session,
+                &ckpt.spec_for("fig10-shr"),
+            ),
+        );
+        announce("ext_manycore");
+        sharded(
+            "ext_manycore",
+            e::ext_manycore::run_checkpointed(
+                &e::ext_manycore::Config::new(scale),
+                14,
+                &session,
+                &ckpt.spec_for("ext_manycore"),
+            ),
+        );
+        if let Some(stack) = &stack {
+            if let Err(message) = stack.finish() {
+                eprintln!("all: {message}");
+                std::process::exit(1);
+            }
+        }
+        eprintln!(
+            "all: shard {shard} of the wide grids done; merge the range \
+             checkpoints (zen2-fleet) to produce the report"
+        );
+        return;
+    }
     // In text mode each experiment's report prints as soon as it
     // finishes (a --paper run takes a while); --json collects every
     // table and emits one array at the end.

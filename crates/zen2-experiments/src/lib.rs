@@ -59,7 +59,7 @@ pub mod tab1_mixed_freq;
 use std::path::PathBuf;
 use std::sync::Arc;
 use zen2_obs::{Heartbeat, JsonlSink, Multi, Recorder, SummarySink};
-use zen2_sim::{CheckpointError, CheckpointSpec, Session};
+use zen2_sim::{CheckpointError, CheckpointSpec, Session, ShardRange};
 
 /// Experiment size: the paper's full parameters or a CI-friendly subset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,10 @@ impl Scale {
 ///   (a missing file starts fresh, so restart scripts are idempotent).
 /// * `--halt-after <n>` — testing aid: halt cleanly after `n`
 ///   checkpoint saves, exactly as a kill right after the save would.
+/// * `--shard-range i/N` — fleet mode: run only shard `i` of an
+///   `N`-way contiguous case partition, leaving a range checkpoint for
+///   the coordinator (`zen2-fleet`) to merge. Requires `--checkpoint`
+///   (the shard's only output is its checkpoint file).
 ///
 /// `docs/SWEEPS.md` documents the workflow end to end.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -110,6 +114,8 @@ pub struct CheckpointCli {
     pub resume: bool,
     /// The `--halt-after` count, when given.
     pub halt_after: Option<usize>,
+    /// The `--shard-range` partition slice, when given.
+    pub shard: Option<ShardRange>,
 }
 
 impl CheckpointCli {
@@ -138,6 +144,10 @@ impl CheckpointCli {
                     cli.halt_after =
                         Some(n.parse().map_err(|_| format!("--halt-after {n:?}: not a count"))?);
                 }
+                "--shard-range" => {
+                    let range = args.next().ok_or("--shard-range needs i/N")?;
+                    cli.shard = Some(ShardRange::parse(&range)?);
+                }
                 _ => {}
             }
         }
@@ -148,6 +158,11 @@ impl CheckpointCli {
             if cli.halt_after.is_some() {
                 return Err("--halt-after requires --checkpoint <path>".into());
             }
+            if cli.shard.is_some() {
+                return Err("--shard-range requires --checkpoint <path> — \
+                            a shard's only output is its checkpoint file"
+                    .into());
+            }
         }
         Ok(cli)
     }
@@ -155,7 +170,12 @@ impl CheckpointCli {
     /// The [`CheckpointSpec`] a single-experiment binary hands its
     /// `run_checkpointed`.
     pub fn spec(&self) -> CheckpointSpec {
-        CheckpointSpec { path: self.path.clone(), resume: self.resume, halt_after: self.halt_after }
+        CheckpointSpec {
+            path: self.path.clone(),
+            resume: self.resume,
+            halt_after: self.halt_after,
+            shard: self.shard,
+        }
     }
 
     /// The per-experiment spec the `all` binary derives: the configured
@@ -168,7 +188,7 @@ impl CheckpointCli {
             name.push(format!("-{experiment}"));
             PathBuf::from(name)
         });
-        CheckpointSpec { path, resume: self.resume, halt_after: None }
+        CheckpointSpec { path, resume: self.resume, halt_after: None, shard: self.shard }
     }
 }
 
@@ -337,11 +357,19 @@ pub fn run_checkpointed_bin<R>(
         Ok(Some(result)) => report::emit(|| render(&result), || tables(&result)),
         Ok(None) => {
             let path = cli.path.as_deref().unwrap_or_else(|| std::path::Path::new("<path>"));
-            eprintln!(
-                "{name}: halted mid-sweep (--halt-after); \
-                 resume with --checkpoint {} --resume",
-                path.display()
-            );
+            match cli.shard {
+                // A shard run reports nothing even when its own range is
+                // done: only the merged whole renders (zen2-fleet).
+                Some(shard) if cli.halt_after.is_none() => eprintln!(
+                    "{name}: shard {shard} done; merge the range checkpoints \
+                     (zen2-fleet) to produce the report"
+                ),
+                _ => eprintln!(
+                    "{name}: halted mid-sweep (--halt-after); \
+                     resume with --checkpoint {} --resume",
+                    path.display()
+                ),
+            }
         }
         Err(error) => {
             eprintln!("{name}: {error}");
@@ -381,6 +409,19 @@ mod tests {
         assert!(parse(&["--resume"]).unwrap_err().contains("--checkpoint"));
         assert!(parse(&["--halt-after", "2"]).unwrap_err().contains("--checkpoint"));
         assert!(parse(&["--checkpoint", "ck", "--halt-after", "soon"]).is_err());
+        assert!(parse(&["--shard-range", "0/3"]).unwrap_err().contains("--checkpoint"));
+        assert!(parse(&["--checkpoint", "ck", "--shard-range", "3/3"])
+            .unwrap_err()
+            .contains("i/N"));
+    }
+
+    #[test]
+    fn checkpoint_cli_parses_shard_ranges() {
+        let cli = parse(&["--checkpoint", "ck", "--shard-range", "1/3"]).unwrap();
+        assert_eq!(cli.shard, Some(ShardRange { index: 1, of: 3 }));
+        assert_eq!(cli.spec().shard, Some(ShardRange { index: 1, of: 3 }));
+        // `all` propagates the shard to every per-experiment spec.
+        assert_eq!(cli.spec_for("fig09").shard, Some(ShardRange { index: 1, of: 3 }));
     }
 
     fn parse_obs(args: &[&str]) -> Result<ObsCli, String> {

@@ -25,8 +25,8 @@
 //! the leading magic):
 //!
 //! ```text
-//! zen2-sweep-checkpoint v1
-//! {"sweep":"fig09","total":73,"done":32,"lens":[8,3,3],"fp":"91c3b2…"}
+//! zen2-sweep-checkpoint v2
+//! {"sweep":"fig09","total":73,"start":0,"done":32,"lens":[8,3,3],"fp":"91c3b2…"}
 //! {"state":"grid","shape":{"axes":[…],"positions":[0,1,2],"lens":[8,3,3]}}
 //! {"state":"grid","row":{"key":[0,0,0],"acc":{…}}}
 //! {"state":"grid","row":{"key":[0,0,1],"acc":{…}}}
@@ -34,8 +34,11 @@
 //! ```
 //!
 //! Line 1 is the version header. Line 2 identifies the run: the sweep
-//! label, the total case count (grid plus any rider cases), the number
-//! of cases folded in so far, the grid's axis lengths, and a
+//! label, the total case count (grid plus any rider cases), the covered
+//! case-index range `start..done` (format v2 added `start` so a shard
+//! of a fleet run — see [`ShardRange`] and [`Checkpoint::merge`] — can
+//! declare which slice of the grid it folded; a whole-run checkpoint
+//! has `start` 0), the grid's axis lengths, and a
 //! fingerprint of the run's content (seeds, scale-dependent scenario
 //! data, machine configuration — so two runs whose grids merely share
 //! dimensions can never blend). After that, one JSON object per line:
@@ -78,8 +81,11 @@ use crate::sweep::Sweep;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The first line of every checkpoint file.
-const MAGIC: &str = "zen2-sweep-checkpoint v1";
+/// The first line of every checkpoint file. v2 added the `start` header
+/// key (covered-range lower bound) for fleet shards; v1 files are
+/// rejected with the version error rather than silently read as
+/// whole-run checkpoints.
+const MAGIC: &str = "zen2-sweep-checkpoint v2";
 
 /// FNV-1a over `bytes`, folded into `state`.
 fn fnv1a(bytes: &[u8], state: &mut u64) {
@@ -140,6 +146,12 @@ pub enum CheckpointError {
     Mismatch(String),
     /// A state the resume needs is not in the file.
     MissingState(String),
+    /// Two checkpoints being merged folded some case twice — their
+    /// covered ranges intersect.
+    RangeOverlap(String),
+    /// Two checkpoints being merged are not adjacent — some case
+    /// between their covered ranges was folded by neither.
+    RangeGap(String),
 }
 
 impl fmt::Display for CheckpointError {
@@ -149,6 +161,8 @@ impl fmt::Display for CheckpointError {
             CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
             CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
             CheckpointError::MissingState(m) => write!(f, "checkpoint missing state: {m}"),
+            CheckpointError::RangeOverlap(m) => write!(f, "checkpoint ranges overlap: {m}"),
+            CheckpointError::RangeGap(m) => write!(f, "checkpoint ranges leave a gap: {m}"),
         }
     }
 }
@@ -191,6 +205,7 @@ enum State {
 pub struct Checkpoint {
     sweep: String,
     total: usize,
+    start: usize,
     done: usize,
     lens: Vec<usize>,
     fingerprint: u64,
@@ -200,10 +215,20 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// An empty checkpoint for `sweep` at watermark `done`, covering
     /// `total` cases (the grid plus any rider cases streamed after it).
+    /// The covered range starts at case 0 — a whole-run checkpoint; a
+    /// fleet shard uses [`for_range`](Self::for_range).
     pub fn new(sweep: &Sweep, total: usize, done: usize) -> Self {
+        Self::for_range(sweep, total, 0, done)
+    }
+
+    /// An empty checkpoint covering the case-index range
+    /// `start..done` of a `total`-case run — what a `--shard-range`
+    /// worker cuts at its shard boundaries.
+    pub fn for_range(sweep: &Sweep, total: usize, start: usize, done: usize) -> Self {
         Self {
             sweep: sweep.label().to_string(),
             total,
+            start,
             done,
             lens: sweep.axes().iter().map(crate::sweep::Axis::len).collect(),
             fingerprint: sweep_fingerprint(sweep),
@@ -227,10 +252,20 @@ impl Checkpoint {
         self.total
     }
 
-    /// Whether every case had been folded in (a resume runs nothing and
-    /// just re-emits the result).
+    /// The covered case-index range `start..done`: which slice of the
+    /// run's cases this checkpoint folded. A whole-run checkpoint
+    /// starts at 0; a `--shard-range` worker's starts at its shard's
+    /// lower bound.
+    pub fn covered(&self) -> (usize, usize) {
+        (self.start, self.done)
+    }
+
+    /// Whether every case of the run had been folded in (a resume runs
+    /// nothing and just re-emits the result). A shard checkpoint —
+    /// `start > 0` — is never complete on its own; merging the full
+    /// partition makes it so.
     pub fn is_complete(&self) -> bool {
-        self.done >= self.total
+        self.start == 0 && self.done >= self.total
     }
 
     /// Adds (or replaces) a stand-alone accumulator state.
@@ -347,7 +382,186 @@ impl Checkpoint {
                 self.done, self.total
             )));
         }
+        if self.start > self.done {
+            return Err(CheckpointError::Malformed(format!(
+                "covered range starts at {} but the watermark is {}",
+                self.start, self.done
+            )));
+        }
         Ok(())
+    }
+
+    /// Merges a shard checkpoint from the *same run* into this one:
+    /// identities must agree exactly (label, grid shape, total,
+    /// fingerprint), the covered ranges must be adjacent (in either
+    /// order — merge left-to-right or right-to-left), and the union
+    /// becomes the new covered range.
+    ///
+    /// States merge at the file level, bit-for-bit: grouped states
+    /// union their rows (sorted by group key, exactly the order a
+    /// single-process run renders). Every wide-grid experiment groups
+    /// by **all** sweep axes, so a contiguous case partition never
+    /// splits a row and the union reproduces the single-process rows
+    /// verbatim — including P² quantile state, which is why the fleet
+    /// path is byte-identical rather than merely tolerance-close. A
+    /// partition that *does* cut through a row (a coarser grouping) is
+    /// rejected by the duplicate-row guard: restore both sides and
+    /// combine the accumulators with the typed
+    /// [`Merge`](crate::stats::Merge) impls instead, accepting the
+    /// documented quantile tolerance. Single states are rider-range
+    /// accumulators: the side whose range reached past the grid
+    /// supplies them; when neither (or both) did, the snapshots must
+    /// agree bit-for-bit.
+    ///
+    /// On error the target is left unchanged.
+    ///
+    /// # Errors
+    /// [`RangeOverlap`](CheckpointError::RangeOverlap) /
+    /// [`RangeGap`](CheckpointError::RangeGap) when the ranges are not
+    /// adjacent, [`Mismatch`](CheckpointError::Mismatch) for identity,
+    /// state-set, shape, duplicate-row, or rider-state disagreements.
+    pub fn merge(&mut self, other: &Checkpoint) -> Result<(), CheckpointError> {
+        if self.sweep != other.sweep {
+            return Err(CheckpointError::Mismatch(format!(
+                "cannot merge checkpoints of different sweeps {:?} and {:?}",
+                self.sweep, other.sweep
+            )));
+        }
+        if self.lens != other.lens {
+            return Err(CheckpointError::Mismatch(format!(
+                "cannot merge checkpoints of different grid shapes {:?} and {:?}",
+                self.lens, other.lens
+            )));
+        }
+        if self.total != other.total {
+            return Err(CheckpointError::Mismatch(format!(
+                "cannot merge checkpoints covering {} and {} total cases",
+                self.total, other.total
+            )));
+        }
+        if self.fingerprint != other.fingerprint {
+            return Err(CheckpointError::Mismatch(
+                "cannot merge checkpoints written by different runs of this grid — \
+                 the seed, scale, or machine configuration differs"
+                    .into(),
+            ));
+        }
+        // Range union: empty sides are trivial, otherwise the ranges
+        // must tile — adjacency in either order.
+        if other.start == other.done {
+            return Ok(());
+        }
+        if self.start == self.done {
+            self.states = other.states.clone();
+            (self.start, self.done) = (other.start, other.done);
+            return Ok(());
+        }
+        let (ours, theirs) = ((self.start, self.done), (other.start, other.done));
+        let range = if ours.1 == theirs.0 {
+            (ours.0, theirs.1)
+        } else if theirs.1 == ours.0 {
+            (theirs.0, ours.1)
+        } else if theirs.0 < ours.1 && ours.0 < theirs.1 {
+            return Err(CheckpointError::RangeOverlap(format!(
+                "cases {}..{} and {}..{} were both folded — \
+                 shards must cover disjoint ranges",
+                ours.0, ours.1, theirs.0, theirs.1
+            )));
+        } else {
+            return Err(CheckpointError::RangeGap(format!(
+                "cases {}..{} and {}..{} are not adjacent — \
+                 every case must be folded by exactly one shard",
+                ours.0, ours.1, theirs.0, theirs.1
+            )));
+        };
+        let grid: usize = self.lens.iter().product();
+        let mut merged_states = Vec::with_capacity(self.states.len());
+        for (name, state) in &self.states {
+            let Some((_, their_state)) = other.states.iter().find(|(n, _)| n == name) else {
+                return Err(CheckpointError::Mismatch(format!(
+                    "state {name:?} is in only one of the checkpoints"
+                )));
+            };
+            merged_states.push((
+                name.clone(),
+                Self::merge_state(name, state, their_state, ours, theirs, grid)?,
+            ));
+        }
+        if let Some((name, _)) =
+            other.states.iter().find(|(n, _)| !self.states.iter().any(|(m, _)| m == n))
+        {
+            return Err(CheckpointError::Mismatch(format!(
+                "state {name:?} is in only one of the checkpoints"
+            )));
+        }
+        self.states = merged_states;
+        (self.start, self.done) = range;
+        Ok(())
+    }
+
+    /// One state's half of [`merge`](Self::merge): `ours`/`theirs` are
+    /// the sides' covered ranges, `grid` the grid case count (indices
+    /// at or past it are rider cases).
+    fn merge_state(
+        name: &str,
+        state: &State,
+        their_state: &State,
+        ours: (usize, usize),
+        theirs: (usize, usize),
+        grid: usize,
+    ) -> Result<State, CheckpointError> {
+        let key_of = |row: &Json| -> Result<Vec<usize>, CheckpointError> {
+            row.get("key").and_then(Json::as_usizes).map_err(|e| {
+                CheckpointError::Malformed(format!("grouped row of {name:?} has no key: {e}"))
+            })
+        };
+        match (state, their_state) {
+            (
+                State::Grouped { shape, rows },
+                State::Grouped { shape: their_shape, rows: their_rows },
+            ) => {
+                if shape != their_shape {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "grouped state {name:?} was grouped differently in the two checkpoints"
+                    )));
+                }
+                // Keyed map so duplicate detection stays cheap on
+                // paper-scale grids (10^5 rows); iterating it back out
+                // yields the single-process render order — sorted by
+                // group key.
+                let mut union: std::collections::BTreeMap<Vec<usize>, Json> =
+                    std::collections::BTreeMap::new();
+                for row in rows.iter().chain(their_rows) {
+                    let key = key_of(row)?;
+                    if union.insert(key.clone(), row.clone()).is_some() {
+                        return Err(CheckpointError::Mismatch(format!(
+                            "grouped state {name:?} has row {key:?} in both checkpoints — \
+                             the partition cuts through a grouped row; restore both sides \
+                             and combine them with the typed GroupedStats::merge instead"
+                        )));
+                    }
+                }
+                Ok(State::Grouped { shape: shape.clone(), rows: union.into_values().collect() })
+            }
+            (State::Single(value), State::Single(their_value)) => {
+                // Rider-range accumulators: owned by the side whose
+                // covered range reached past the grid.
+                match (ours.1 > grid, theirs.1 > grid) {
+                    (true, false) => Ok(State::Single(value.clone())),
+                    (false, true) => Ok(State::Single(their_value.clone())),
+                    _ if value == their_value => Ok(State::Single(value.clone())),
+                    _ => Err(CheckpointError::Mismatch(format!(
+                        "single state {name:?} differs between the checkpoints and neither \
+                         side alone covered the rider cases — a cross-shard single \
+                         accumulator cannot be merged at the file level; restore both \
+                         sides and combine them with the typed Merge impls instead"
+                    ))),
+                }
+            }
+            _ => Err(CheckpointError::Mismatch(format!(
+                "state {name:?} is grouped in one checkpoint and single in the other"
+            ))),
+        }
     }
 
     /// Renders the file body (see the [module docs](self) for the
@@ -359,6 +573,7 @@ impl Checkpoint {
         let header = Json::obj([
             ("sweep", Json::str(self.sweep.clone())),
             ("total", Json::usize(self.total)),
+            ("start", Json::usize(self.start)),
             ("done", Json::usize(self.done)),
             ("lens", Json::usizes(self.lens.iter().copied())),
             ("fp", Json::str(format!("{:016x}", self.fingerprint))),
@@ -441,7 +656,7 @@ impl Checkpoint {
             return Err(at(1, "missing header".into()));
         };
         let header = Json::parse(header_text).map_err(|e| at(header_no, e.to_string()))?;
-        type Header = (String, usize, usize, Vec<usize>, u64);
+        type Header = (String, usize, usize, usize, Vec<usize>, u64);
         let parse_header = |h: &Json| -> Result<Header, SnapshotError> {
             let fp = h.get("fp")?.as_str()?;
             let fingerprint = u64::from_str_radix(fp, 16)
@@ -449,15 +664,16 @@ impl Checkpoint {
             Ok((
                 h.get("sweep")?.as_str()?.to_string(),
                 h.get("total")?.as_usize()?,
+                h.get("start")?.as_usize()?,
                 h.get("done")?.as_usize()?,
                 h.get("lens")?.as_usizes()?,
                 fingerprint,
             ))
         };
-        let (sweep, total, done, lens, fingerprint) =
+        let (sweep, total, start, done, lens, fingerprint) =
             parse_header(&header).map_err(|e| at(header_no, e.to_string()))?;
         let mut checkpoint =
-            Checkpoint { sweep, total, done, lens, fingerprint, states: Vec::new() };
+            Checkpoint { sweep, total, start, done, lens, fingerprint, states: Vec::new() };
         for (line_no, line) in lines {
             if line.trim().is_empty() {
                 continue;
@@ -494,9 +710,52 @@ impl Checkpoint {
     }
 }
 
+/// One shard of an `N`-way fleet partition: the decoded
+/// `--shard-range i/N` flag. The partition is row-major contiguous —
+/// shard `i` covers case indices
+/// `i*total/N .. (i+1)*total/N` — so every case lands in exactly one
+/// shard, shard sizes differ by at most one, and concatenating the
+/// shards in index order reproduces the whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Which shard this worker runs (0-based).
+    pub index: usize,
+    /// How many shards the partition has.
+    pub of: usize,
+}
+
+impl ShardRange {
+    /// Decodes `"i/N"` (e.g. `"0/3"`), requiring `N ≥ 1` and `i < N`.
+    ///
+    /// # Errors
+    /// Errors with a usage message on any other input.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let usage = || format!("--shard-range wants i/N with 0 <= i < N, got {text:?}");
+        let (index, of) = text.split_once('/').ok_or_else(usage)?;
+        let index: usize = index.trim().parse().map_err(|_| usage())?;
+        let of: usize = of.trim().parse().map_err(|_| usage())?;
+        if of == 0 || index >= of {
+            return Err(usage());
+        }
+        Ok(Self { index, of })
+    }
+
+    /// This shard's case-index range `start..end` of a `total`-case
+    /// run. The `N` shards tile `0..total` exactly.
+    pub fn bounds(&self, total: usize) -> (usize, usize) {
+        (self.index * total / self.of, (self.index + 1) * total / self.of)
+    }
+}
+
+impl fmt::Display for ShardRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.of)
+    }
+}
+
 /// What a checkpointed run was asked to do — the decoded
-/// `--checkpoint` / `--resume` / `--halt-after` flags every wide-grid
-/// experiment binary shares.
+/// `--checkpoint` / `--resume` / `--halt-after` / `--shard-range`
+/// flags every wide-grid experiment binary shares.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointSpec {
     /// Where to persist checkpoints (and read them back from when
@@ -510,6 +769,10 @@ pub struct CheckpointSpec {
     /// saves, halt the stream cleanly (the state on disk is exactly
     /// what a kill right after the save would leave).
     pub halt_after: Option<usize>,
+    /// Run only this shard of the fleet partition; the checkpoint then
+    /// covers the shard's case range and is merged with its peers by
+    /// the coordinator. `None` runs the whole sweep.
+    pub shard: Option<ShardRange>,
 }
 
 impl CheckpointSpec {
@@ -520,12 +783,12 @@ impl CheckpointSpec {
 
     /// A spec writing checkpoints to `path` (fresh run, no resume).
     pub fn at(path: impl Into<PathBuf>) -> Self {
-        Self { path: Some(path.into()), resume: false, halt_after: None }
+        Self { path: Some(path.into()), ..Self::default() }
     }
 
     /// A spec resuming from (and continuing to write) `path`.
     pub fn resume_from(path: impl Into<PathBuf>) -> Self {
-        Self { path: Some(path.into()), resume: true, halt_after: None }
+        Self { path: Some(path.into()), resume: true, ..Self::default() }
     }
 
     /// Loads the checkpoint a resumed run starts from: `Some` when
@@ -601,9 +864,19 @@ pub trait CheckpointState {
 /// completed prefix), stream the remaining grid cases plus `riders`
 /// (extra single cases appended after the grid, e.g. Fig. 7's all-C2
 /// baseline), and persist `state` at every shard boundary. Returns
-/// `true` when every case was folded in, `false` when the run halted
-/// early per the spec (`--halt-after`) — the checkpoint then holds
-/// everything a later resume needs.
+/// `true` when every case of the *whole run* was folded in, `false`
+/// when the run halted early per the spec (`--halt-after`) **or** ran
+/// only a [`ShardRange`] slice — either way the checkpoint then holds
+/// everything a later resume (or the fleet coordinator's
+/// [`Checkpoint::merge`]) needs. A shard run therefore never renders a
+/// report of its own: only the merged whole does.
+///
+/// With `spec.shard` set, the run covers exactly the shard's case
+/// range: the case iterator is bounded with
+/// [`Sweep::take_range`](crate::sweep::Sweep::take_range), so the lazy
+/// grid is never pulled past the shard's end, and every boundary save
+/// is cut with [`Checkpoint::for_range`]. Resuming a shard requires
+/// the same `--shard-range` it was started with.
 ///
 /// Interrupt-at-any-boundary plus resume — under any worker/shard
 /// split — is byte-identical to one uninterrupted run, provided
@@ -659,11 +932,21 @@ pub fn run_resumable<S: CheckpointState>(
     spec: &CheckpointSpec,
     state: &mut S,
 ) -> Result<bool, CheckpointError> {
-    let total = sweep.len() + riders.len();
-    let mut start = 0;
+    let grid = sweep.len();
+    let total = grid + riders.len();
+    let (lo, hi) = spec.shard.map_or((0, total), |shard| shard.bounds(total));
+    let mut start = lo;
     if let Some(checkpoint) = spec.load(sweep, total)? {
+        let (covered_start, covered_done) = checkpoint.covered();
+        if covered_start != lo || covered_done > hi {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint covers cases {covered_start}..{covered_done}, this run's shard \
+                 is {lo}..{hi} — resume a shard with the same --shard-range it was \
+                 started with"
+            )));
+        }
         state.restore_from(&checkpoint)?;
-        start = checkpoint.done();
+        start = covered_done;
     }
     // Announce the run's extent before streaming: progress sinks need
     // the total (and the resume offset) to show percentages and ETA.
@@ -671,28 +954,33 @@ pub fn run_resumable<S: CheckpointState>(
         EVT_SWEEP_TOTAL,
         &[
             ("sweep", AttrValue::Str(sweep.label())),
-            ("total", AttrValue::U64(total as u64)),
+            ("total", AttrValue::U64(hi as u64)),
             ("start", AttrValue::U64(start as u64)),
         ],
     );
-    let pending_riders = riders.into_iter().skip(start.saturating_sub(sweep.len()));
+    // Bound both halves of the case stream to start..hi: the grid via
+    // take_range (never over-pulling the lazy iterator past the
+    // shard), the rider tail via skip + take.
+    let grid_start = start.min(grid);
+    let grid_cases = sweep.take_range(grid_start, hi.min(grid).saturating_sub(grid_start));
+    let rider_skip = start.saturating_sub(grid);
+    let rider_len = hi.saturating_sub(grid).saturating_sub(rider_skip);
+    let pending_riders = riders.into_iter().skip(rider_skip).take(rider_len);
     let mut saves = 0;
     let delivered = session
-        .run_streaming_checkpointed(start, sweep.skip(start).chain(pending_riders), |event| {
-            match event {
-                StreamEvent::Run { index, run } => {
-                    state.fold(index, run);
-                    Ok(StreamControl::Continue)
-                }
-                StreamEvent::ShardBoundary { next } => spec.on_boundary(&mut saves, || {
-                    let mut checkpoint = Checkpoint::new(sweep, total, next);
-                    state.save_into(&mut checkpoint);
-                    checkpoint
-                }),
+        .run_streaming_checkpointed(start, grid_cases.chain(pending_riders), |event| match event {
+            StreamEvent::Run { index, run } => {
+                state.fold(index, run);
+                Ok(StreamControl::Continue)
             }
+            StreamEvent::ShardBoundary { next } => spec.on_boundary(&mut saves, || {
+                let mut checkpoint = Checkpoint::for_range(sweep, total, lo, next);
+                state.save_into(&mut checkpoint);
+                checkpoint
+            }),
         })
         .map_err(CheckpointError::from_stream)?;
-    Ok(start + delivered == total)
+    Ok(lo == 0 && start + delivered == total)
 }
 
 #[cfg(test)]
@@ -754,7 +1042,7 @@ mod tests {
         let text = ck.render();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines[0], MAGIC);
-        assert!(lines[1].starts_with("{\"sweep\":\"ck-test\",\"total\":6,\"done\":4"));
+        assert!(lines[1].starts_with("{\"sweep\":\"ck-test\",\"total\":6,\"start\":0,\"done\":4"));
         assert!(lines[2].contains("\"shape\""));
         // Cases 0..4 touch groups a=0 and a=1: one object per row.
         let rows = lines.iter().filter(|l| l.contains("\"row\"")).count();
@@ -834,7 +1122,7 @@ mod tests {
             (
                 &format!(
                     "{MAGIC}\n\
-                     {{\"sweep\":\"x\",\"total\":1,\"done\":0,\"lens\":[],\"fp\":\"00\"}}\n\
+                     {{\"sweep\":\"x\",\"total\":1,\"start\":0,\"done\":0,\"lens\":[],\"fp\":\"00\"}}\n\
                      {{\"state\":\"g\",\"row\":{{}}}}\n"
                 )[..],
                 "before its shape",
@@ -842,11 +1130,13 @@ mod tests {
             (
                 &format!(
                     "{MAGIC}\n\
-                     {{\"sweep\":\"x\",\"total\":1,\"done\":0,\"lens\":[],\"fp\":\"00\"}}\n\
+                     {{\"sweep\":\"x\",\"total\":1,\"start\":0,\"done\":0,\"lens\":[],\"fp\":\"00\"}}\n\
                      {{\"state\":\"g\"}}\n"
                 )[..],
                 "shape, row, or value",
             ),
+            // A v1 file: rejected by the magic, never half-read.
+            ("zen2-sweep-checkpoint v1\n{\"sweep\":\"x\"}\n", "unsupported version"),
         ] {
             std::fs::write(&path, content).unwrap();
             let err = Checkpoint::load(&path).unwrap_err();
@@ -942,5 +1232,190 @@ mod tests {
         let spec = CheckpointSpec { halt_after: Some(1), ..CheckpointSpec::none() };
         assert_eq!(spec.on_boundary(&mut saves, build).unwrap(), StreamControl::Continue);
         assert_eq!(saves, 0);
+    }
+
+    #[test]
+    fn shard_range_parses_and_tiles_the_grid() {
+        assert_eq!(ShardRange::parse("0/3").unwrap(), ShardRange { index: 0, of: 3 });
+        assert_eq!(ShardRange::parse("2/3").unwrap().bounds(7), (4, 7));
+        assert_eq!(ShardRange::parse("2/3").unwrap().to_string(), "2/3");
+        for bad in ["", "3", "3/3", "4/3", "a/b", "1/0", "-1/2", "1/2/3"] {
+            assert!(ShardRange::parse(bad).is_err(), "{bad:?} parsed");
+        }
+        // The N shards tile 0..total exactly: contiguous, disjoint,
+        // nothing left over — for totals below, at, and above N.
+        for total in [0, 1, 6, 7, 100] {
+            for of in [1, 2, 3, 7, 11] {
+                let mut next = 0;
+                for index in 0..of {
+                    let (lo, hi) = (ShardRange { index, of }).bounds(total);
+                    assert_eq!(lo, next, "shard {index}/{of} of {total}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, total, "{of} shards of {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_unions_adjacent_shards_bit_exactly() {
+        let sweep = sweep_3x2();
+        let like = || GroupedStats::<OnlineStats>::new(&sweep, &["a", "b"]);
+        let push = |grid: &mut GroupedStats<OnlineStats>, range: std::ops::Range<usize>| {
+            for i in range {
+                grid.entry(i).push(i as f64 * 1.1);
+            }
+        };
+        let mut rider = OnlineStats::new();
+        rider.push(42.5);
+        // The single-process reference: all 6 grid cases plus the rider.
+        let mut full_grid = like();
+        push(&mut full_grid, 0..6);
+        let mut full = Checkpoint::new(&sweep, 7, 7);
+        full.set_grouped("grid", &full_grid);
+        full.set_single("rider", &rider);
+        // A shard over `range` (grid grouped by all axes, so disjoint
+        // ranges touch disjoint rows); only a shard reaching past the
+        // grid folded the rider.
+        let empty_rider = OnlineStats::new();
+        let shard = |range: std::ops::Range<usize>| {
+            let mut grid = like();
+            push(&mut grid, range.start..range.end.min(6));
+            let mut ck = Checkpoint::for_range(&sweep, 7, range.start, range.end);
+            ck.set_grouped("grid", &grid);
+            ck.set_single("rider", if range.end > 6 { &rider } else { &empty_rider });
+            ck
+        };
+        let (a, b) = (shard(0..3), shard(3..7));
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        assert_eq!(merged, full);
+        assert_eq!(merged.render(), full.render());
+        assert!(merged.is_complete());
+        // Adjacency works in either order: same bytes.
+        let mut reversed = b;
+        reversed.merge(&a).unwrap();
+        assert_eq!(reversed.render(), full.render());
+        // Three-way, merged middle-out.
+        let mut m = shard(2..5);
+        m.merge(&shard(5..7)).unwrap();
+        m.merge(&shard(0..2)).unwrap();
+        assert_eq!(m.render(), full.render());
+    }
+
+    #[test]
+    fn merge_rejects_overlap_gap_and_foreign_checkpoints() {
+        let sweep = sweep_3x2();
+        let ck = |start, done| Checkpoint::for_range(&sweep, 7, start, done);
+        let mut m = ck(0, 3);
+        let err = m.merge(&ck(2, 5)).unwrap_err();
+        assert!(matches!(err, CheckpointError::RangeOverlap(_)), "{err}");
+        assert!(err.to_string().contains("0..3"), "{err}");
+        let err = m.merge(&ck(4, 7)).unwrap_err();
+        assert!(matches!(err, CheckpointError::RangeGap(_)), "{err}");
+        // A shard written by a different run of the same grid shape.
+        let reseeded = sweep_3x2().seed(2);
+        let err = m.merge(&Checkpoint::for_range(&reseeded, 7, 3, 7)).unwrap_err();
+        assert!(err.to_string().contains("different run"), "{err}");
+        // On error the target is untouched.
+        assert_eq!(m.covered(), (0, 3));
+        // A partition cutting through a grouped row (coarser grouping
+        // than the case axes) is rejected towards the typed merge.
+        let coarse = |case: usize, start: usize, done: usize| {
+            let mut grid: GroupedStats<OnlineStats> = GroupedStats::new(&sweep, &["a"]);
+            grid.entry(case).push(case as f64);
+            let mut ck = ck(start, done);
+            ck.set_grouped("grid", &grid);
+            ck
+        };
+        // Cases 2 and 3 share the a=1 row.
+        let mut left = coarse(2, 0, 3);
+        let err = left.merge(&coarse(3, 3, 7)).unwrap_err();
+        assert!(err.to_string().contains("GroupedStats::merge"), "{err}");
+        // A state present on only one side is named.
+        let mut lonely = ck(0, 3);
+        lonely.set_single("extra", &OnlineStats::new());
+        let err = lonely.merge(&ck(3, 7)).unwrap_err();
+        assert!(err.to_string().contains("only one of"), "{err}");
+    }
+
+    #[test]
+    fn run_resumable_shards_partition_and_merge_to_the_clean_run() {
+        struct Grid(GroupedStats<OnlineStats>);
+        impl CheckpointState for Grid {
+            fn save_into(&self, checkpoint: &mut Checkpoint) {
+                checkpoint.set_grouped("grid", &self.0);
+            }
+            fn restore_from(&mut self, checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+                self.0 = checkpoint.grouped("grid", &self.0)?;
+                Ok(())
+            }
+            fn fold(&mut self, index: usize, _run: Run) {
+                self.0.entry(index).push(index as f64 * 0.3);
+            }
+        }
+        let mut base = crate::scenario::Scenario::new();
+        base.probe("ac", crate::probe::Probe::AcPowerW, crate::probe::Window::at(0));
+        let sweep = sweep_3x2().scenario(base);
+        let session = Session::new().workers(2).shard_size(2);
+        let fresh = || Grid(GroupedStats::new(&sweep, &["a", "b"]));
+
+        // The single-process reference, checkpointed to the end.
+        let clean_path = tmp("shard-clean");
+        let mut clean = fresh();
+        let spec = CheckpointSpec::at(&clean_path);
+        assert!(run_resumable(&sweep, vec![], &session, &spec, &mut clean).unwrap());
+        let clean_text = std::fs::read_to_string(&clean_path).unwrap();
+        std::fs::remove_file(&clean_path).unwrap();
+
+        // Three shard runs over the same grid, merged at the file level.
+        let mut merged: Option<Checkpoint> = None;
+        for index in 0..3 {
+            let path = tmp(&format!("shard-{index}"));
+            let range = ShardRange { index, of: 3 };
+            let spec = CheckpointSpec { shard: Some(range), ..CheckpointSpec::at(&path) };
+            let mut state = fresh();
+            // A shard never claims the whole run completed.
+            assert!(!run_resumable(&sweep, vec![], &session, &spec, &mut state).unwrap());
+            let shard = Checkpoint::load(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            assert_eq!(shard.covered(), range.bounds(6));
+            match merged.as_mut() {
+                None => merged = Some(shard),
+                Some(m) => m.merge(&shard).unwrap(),
+            }
+        }
+        let merged = merged.unwrap();
+        assert!(merged.is_complete());
+        assert_eq!(merged.render(), clean_text);
+    }
+
+    #[test]
+    fn resuming_a_shard_needs_its_own_range() {
+        struct Nop;
+        impl CheckpointState for Nop {
+            fn save_into(&self, _checkpoint: &mut Checkpoint) {}
+            fn restore_from(&mut self, _checkpoint: &Checkpoint) -> Result<(), CheckpointError> {
+                Ok(())
+            }
+            fn fold(&mut self, _index: usize, _run: Run) {}
+        }
+        let sweep = sweep_3x2();
+        let path = tmp("shard-resume");
+        Checkpoint::for_range(&sweep, 6, 2, 4).save(&path).unwrap();
+        let session = Session::new();
+        let spec = |index| CheckpointSpec {
+            resume: true,
+            shard: Some(ShardRange { index, of: 3 }),
+            ..CheckpointSpec::at(&path)
+        };
+        let mut nop = Nop;
+        let err = run_resumable(&sweep, vec![], &session, &spec(0), &mut nop).unwrap_err();
+        assert!(err.to_string().contains("--shard-range"), "{err}");
+        // The matching shard resumes; its range is already complete, so
+        // nothing streams and the whole-run flag stays false.
+        assert!(!run_resumable(&sweep, vec![], &session, &spec(1), &mut nop).unwrap());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -17,7 +17,7 @@ use zen2_topology::CoreId;
 /// Finite `f64`s spanning the whole bit space (exponent extremes,
 /// subnormals, awkward fractions — the values a decimal round-trip is
 /// most likely to get wrong).
-fn arb_finite_f64() -> impl Strategy<Value = f64> {
+pub(crate) fn arb_finite_f64() -> impl Strategy<Value = f64> {
     any::<u64>().prop_map(|bits| {
         let v = f64::from_bits(bits);
         // Non-finite values cannot enter accumulators through `push`;

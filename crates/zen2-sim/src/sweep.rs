@@ -357,6 +357,35 @@ impl Sweep {
         (start.min(self.len())..self.len()).map(|index| self.case(index))
     }
 
+    /// Lazily yields exactly the cases `start..start + len` (clamped to
+    /// the grid) — the shard path. [`skip`](Self::skip) bounds only the
+    /// *front* of the iterator; a shard handed `skip(start)` would let
+    /// the session pull — and execute — cases past its range's end,
+    /// because the engine fetches a full `workers × shard_size` group
+    /// at a time before it looks at what arrived. `take_range` bounds
+    /// the tail too, so a shard never derives a case outside its slice
+    /// no matter the worker/shard-size split.
+    ///
+    /// ```
+    /// use zen2_sim::{Axis, SimConfig, Sweep};
+    ///
+    /// let sweep = Sweep::new("grid", SimConfig::epyc_7502_2s())
+    ///     .seed(7)
+    ///     .axis(Axis::param("x", [0.0, 1.0, 2.0]))
+    ///     .axis(Axis::param("y", [0.0, 1.0]));
+    /// let slice: Vec<_> = sweep.take_range(2, 3).map(|c| c.label).collect();
+    /// let full: Vec<_> = sweep.cases().map(|c| c.label).collect();
+    /// assert_eq!(slice, full[2..5]);
+    /// // Both ends clamp to the grid.
+    /// assert_eq!(sweep.take_range(4, 99).count(), 2);
+    /// assert_eq!(sweep.take_range(99, 1).count(), 0);
+    /// ```
+    pub fn take_range(&self, start: usize, len: usize) -> impl Iterator<Item = Case> + '_ {
+        let start = start.min(self.len());
+        let end = start.saturating_add(len).min(self.len());
+        (start..end).map(|index| self.case(index))
+    }
+
     /// Streams the grid from case `start` through a session with the
     /// checkpoint hook: `on_event` observes every delivery (with its
     /// *global* case index) and every shard boundary, exactly as
